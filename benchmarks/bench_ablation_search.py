@@ -1,0 +1,28 @@
+"""Ablation A3 — search-algorithm comparison under an equal evaluation budget.
+
+Compares the paper's MCTS+GA pipeline against plain MCTS, plain GA, grid
+search and random search when tuning MAS-Attention's tiling on BERT-Base.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import run_search_ablation
+
+
+def test_search_algorithm_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_search_ablation,
+        kwargs={"network": "BERT-Base", "budget": 60, "method": "mas"},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format())
+
+    benchmark.extra_info["relative_to_best"] = {k: round(v, 3) for k, v in result.summary.items()}
+
+    # Every strategy finds a feasible tiling, and the guided strategies are
+    # within a small factor of the best one found under this budget.
+    best_cycles = {row[0]: row[1] for row in result.rows}
+    assert all(v != float("inf") for v in best_cycles.values())
+    assert result.summary["mcts+ga_vs_best"] < 1.3
+    assert result.summary["grid_vs_best"] < 2.0

@@ -1,0 +1,30 @@
+"""Ablation A2 — multi-tiered tiling versus single-tier (no K/V sub-matrix) tiling.
+
+Removes the fine-grained key/value tier (``nkv = N_kv``) from the tuned
+MAS-Attention tiling and measures the cost: larger resident K/V tiles and
+coarser MatMul granularity.  The effect is strongest when the sequence length
+is much larger than the head dimension (Section 4.2's motivation).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import run_tiling_ablation
+
+
+def test_multitier_tiling_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_tiling_ablation,
+        kwargs={"networks": ["BERT-Base", "Llama3-8B", "T5-Mini"], "search_budget": 40},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format())
+
+    benchmark.extra_info["mean_speedup"] = round(result.summary["mean_speedup"], 3)
+
+    # Multi-tier tiling is never worse, and its footprint is never larger.
+    assert result.summary["mean_speedup"] >= 1.0
+    for row in result.rows:
+        _, multi_cycles, single_cycles, speedup, multi_fp, single_fp = row
+        assert multi_cycles <= single_cycles
+        assert multi_fp <= single_fp

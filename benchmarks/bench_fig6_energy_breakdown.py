@@ -1,0 +1,36 @@
+"""Figure 6 — per-component energy breakdown (DRAM, L1, L0, MAC PEs, VEC PEs).
+
+Regenerates the stacked-bar data for every (network, method) pair, reusing the
+Table-2/3 runs, and checks the paper's observations: the unfused baselines pay
+far more off-chip (DRAM) energy than the fused dataflows, and PE energy is
+essentially constant across methods (Section 5.3.3).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figure6 import COMPONENTS, run_figure6
+
+
+def test_figure6_energy_breakdown(benchmark, edge_runner, bench_networks):
+    result = benchmark.pedantic(
+        run_figure6, args=(edge_runner,), kwargs={"networks": bench_networks},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format())
+
+    # Off-chip energy: Layer-Wise and Soft-Pipe pay for the C/P round-trips,
+    # so they sit above the fused dataflows which only read Q/K/V and write O.
+    for network in result.networks:
+        dram_lw = result.entry(network, "layerwise").component_pj("DRAM")
+        dram_sp = result.entry(network, "softpipe").component_pj("DRAM")
+        dram_mas = result.entry(network, "mas").component_pj("DRAM")
+        assert dram_lw > dram_sp > dram_mas * 0.99
+
+    assert result.pe_energy_constant_across_methods()
+
+    totals = {
+        c: sum(e.component_pj(c) for e in result.entries if e.method == "mas") / 1e9
+        for c in COMPONENTS
+    }
+    benchmark.extra_info["mas_component_totals_1e9pj"] = {k: round(v, 3) for k, v in totals.items()}

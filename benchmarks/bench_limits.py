@@ -1,0 +1,32 @@
+"""Section 5.6 — maximum sequence-length limits (MAS ~1M vs FLAT ~2M tokens @ 5 MB L1).
+
+Evaluates the closed-form residency model across L1 capacities and checks the
+paper's headline numbers on the 5 MB simulated device with FP16 data.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.limits import run_limits
+from repro.utils.units import MB
+
+
+def test_sequence_length_limits(benchmark):
+    result = benchmark.pedantic(
+        run_limits, kwargs={"l1_sweep_bytes": [1 * MB, 2 * MB, 5 * MB, 8 * MB]},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format())
+
+    paper_device = result.row_for_l1(5 * MB)
+    benchmark.extra_info["mas_max_seq_5mb"] = paper_device.mas_max_seq
+    benchmark.extra_info["flat_max_seq_5mb"] = paper_device.flat_max_seq
+
+    # Paper: ~1M tokens for MAS-Attention, ~2M for FLAT, i.e. a 2x ratio.
+    assert 0.9e6 < paper_device.mas_max_seq < 1.4e6
+    assert 1.8e6 < paper_device.flat_max_seq < 2.7e6
+    assert 1.9 < paper_device.flat_over_mas < 2.1
+
+    # Limits scale monotonically with the buffer size.
+    seqs = [row.mas_max_seq for row in result.rows]
+    assert seqs == sorted(seqs)

@@ -1,0 +1,40 @@
+"""Section 5.2.2 — Stable Diffusion 1.5 reduced-UNet end-to-end experiment.
+
+Simulates all 15 attention units of the reduced UNet under Layer-Wise and
+MAS-Attention on the DaVinci-like preset and reproduces the two reported
+numbers: the runtime reduction of the largest attention unit (paper: 29.4%)
+and the end-to-end latency reduction (paper: ~6%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sd_unet import (
+    PAPER_END_TO_END_REDUCTION_PCT,
+    PAPER_LARGEST_UNIT_REDUCTION_PCT,
+    run_sd_unet,
+)
+
+
+def test_sd_unet_end_to_end(benchmark):
+    result = benchmark.pedantic(run_sd_unet, kwargs={"use_search": False}, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    benchmark.extra_info["largest_unit_reduction_pct"] = round(
+        result.largest_unit_reduction_pct, 2
+    )
+    benchmark.extra_info["end_to_end_reduction_pct"] = round(result.end_to_end_reduction_pct, 2)
+
+    # Largest unit: 2 heads x 4096 tokens x 64 dims, as described in the paper.
+    largest = result.largest_unit
+    assert (largest.heads, largest.seq, largest.emb) == (2, 4096, 64)
+
+    # Shape: a substantial per-unit reduction that shrinks to single digits
+    # end-to-end because attention is only part of the UNet latency.
+    assert 15.0 < result.largest_unit_reduction_pct < 70.0
+    assert 2.0 < result.end_to_end_reduction_pct < 20.0
+    assert result.end_to_end_reduction_pct < result.attention_reduction_pct
+    print(
+        f"paper reference: largest unit {PAPER_LARGEST_UNIT_REDUCTION_PCT}%, "
+        f"end-to-end {PAPER_END_TO_END_REDUCTION_PCT}%"
+    )

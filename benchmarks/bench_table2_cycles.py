@@ -1,0 +1,34 @@
+"""Table 2 — execution cycles and MAS-Attention speedups on the simulated edge device.
+
+Regenerates the cycle counts of every method on every Table-1 network plus the
+per-baseline speedup columns and the geometric-mean row, and checks the
+paper's qualitative shape: MAS-Attention is the fastest method everywhere and
+its geomean speedup over FLAT falls in the paper's range.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.table2 import PAPER_GEOMEAN_SPEEDUPS, run_table2
+
+
+def test_table2_cycles_and_speedups(benchmark, edge_runner, bench_networks):
+    result = benchmark.pedantic(
+        run_table2, args=(edge_runner,), kwargs={"networks": bench_networks},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format())
+    print("\npaper geomean speedups for reference:", PAPER_GEOMEAN_SPEEDUPS)
+
+    benchmark.extra_info["geomean_speedups"] = {
+        k: round(v, 3) for k, v in result.geomean_speedups.items()
+    }
+    benchmark.extra_info["mas_wins_everywhere"] = result.mas_wins()
+
+    # Shape checks: who wins, and roughly by how much.
+    assert result.mas_wins()
+    assert result.geomean_speedups["layerwise"] > result.geomean_speedups["softpipe"]
+    assert result.geomean_speedups["softpipe"] > result.geomean_speedups["flat"] * 0.9
+    assert 1.2 < result.geomean_speedups["flat"] < 2.75
+    assert 1.0 <= result.geomean_speedups["tileflow"] < 1.8
+    assert 1.0 <= result.geomean_speedups["fusemax"] < 2.0

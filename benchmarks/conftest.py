@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The tuned runs
+are shared through session-scoped fixtures so the artefacts that report the
+same underlying experiments (Table 2, Table 3, Figure 6, Figure 7) only pay
+for the tiling search once per session, exactly as in the paper's methodology.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated rows/series (visible with ``-s`` or in
+the captured output) and attaches the headline numbers to
+``benchmark.extra_info`` so they land in the pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.hardware.presets import davinci_like_npu
+
+#: Tiling-search budget per (method, network) pair.  The paper runs ~10K
+#: iterations offline; this default keeps the full benchmark suite at a few
+#: minutes while preserving the convergence behaviour.  Override with
+#: ``MAS_BENCH_BUDGET=200 pytest benchmarks/ --benchmark-only``.
+SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
+
+#: Network subset; empty means all 12 Table-1 networks.  Override with e.g.
+#: ``MAS_BENCH_NETWORKS="BERT-Base,ViT-B/14"``.
+_networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
+NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
+
+
+@pytest.fixture(scope="session")
+def edge_runner() -> ExperimentRunner:
+    """Tuned runs on the paper's simulated edge device (Tables 2/3, Figures 6/7)."""
+    return ExperimentRunner(search_budget=SEARCH_BUDGET, seed=0)
+
+
+@pytest.fixture(scope="session")
+def npu_runner() -> ExperimentRunner:
+    """Grid-searched runs on the DaVinci-like NPU preset (Figure 5)."""
+    return ExperimentRunner(
+        hardware=davinci_like_npu(), search_strategy="grid", search_budget=SEARCH_BUDGET, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_networks() -> list[str] | None:
+    """Network subset used by the table/figure benchmarks (None = all of Table 1)."""
+    return NETWORKS

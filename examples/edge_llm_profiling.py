@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Profile attention dataflows for on-device LLM / encoder inference.
+
+The scenario the paper's introduction motivates: a language-model attention
+layer (BERT/Llama-style shapes from Table 1) running on a memory-constrained
+edge accelerator.  The script
+
+1. tunes MAS-Attention and FLAT for a set of NLP networks,
+2. prints cycles, speedup, energy and the per-component energy breakdown, and
+3. shows where the time goes (MAC/VEC/DMA utilization) for both dataflows,
+   which is the intuition behind the paper's MAC/VEC pipelining.
+
+Run::
+
+    python examples/edge_llm_profiling.py
+"""
+
+from __future__ import annotations
+
+from repro import simulated_edge_device
+from repro.analysis import format_table
+from repro.hardware.energy import EnergyModel
+from repro.schedulers import make_scheduler
+from repro.search import AutoTuner
+from repro.sim.tasks import mac_resource, vec_resource, dma_resource
+from repro.workloads import get_network
+
+NETWORKS = ["BERT-Base", "BERT-Large", "Llama3-8B", "XLM"]
+
+
+def utilization(result, hardware) -> dict[str, float]:
+    """Busy fraction of the first core's MAC/VEC units and the DMA channel."""
+    trace = result.trace
+    return {
+        "mac": trace.utilization(mac_resource(0)),
+        "vec": trace.utilization(vec_resource(0)),
+        "dma": trace.utilization(dma_resource()),
+    }
+
+
+def main() -> None:
+    hardware = simulated_edge_device()
+    tuner = AutoTuner(hardware, budget=60)
+
+    comparison_rows = []
+    breakdown_rows = []
+    for name in NETWORKS:
+        workload = get_network(name).workload()
+        runs = {}
+        for method in ("flat", "mas"):
+            scheduler = make_scheduler(method, hardware)
+            tiling = tuner.tune(scheduler, workload).best_tiling
+            runs[method] = scheduler.simulate(workload, tiling)
+
+        flat, mas = runs["flat"], runs["mas"]
+        util = utilization(mas, hardware)
+        comparison_rows.append([
+            get_network(name).name,
+            flat.cycles,
+            mas.cycles,
+            round(flat.cycles / mas.cycles, 2),
+            round(flat.latency_seconds * 1e3, 3),
+            round(mas.latency_seconds * 1e3, 3),
+            f"{util['mac']:.0%}/{util['vec']:.0%}/{util['dma']:.0%}",
+        ])
+        for method, result in runs.items():
+            b = result.energy
+            breakdown_rows.append([
+                get_network(name).name, method,
+                round(b.dram_pj / 1e9, 3), round(b.l1_pj / 1e9, 3), round(b.l0_pj / 1e9, 3),
+                round(b.pe_pj / 1e9, 3), round(b.total_pj / 1e9, 3),
+            ])
+
+    print(format_table(
+        ["network", "FLAT cycles", "MAS cycles", "speedup", "FLAT ms", "MAS ms",
+         "MAS util mac/vec/dma"],
+        comparison_rows,
+        title="FLAT vs MAS-Attention on NLP attention layers (tuned tilings)",
+    ))
+    print()
+    print(format_table(
+        ["network", "method", "DRAM", "L1", "L0", "PEs", "total (1e9 pJ)"],
+        breakdown_rows,
+        title="Energy breakdown (Figure-6 style)",
+    ))
+    print("\nNote how MAS-Attention keeps both the MAC and VEC units busy at the same")
+    print("time, which is exactly the parallelism FLAT's sequential execution leaves idle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Visualize the stream-processing pipeline: FLAT vs MAS-Attention timelines.
+
+Renders ASCII Gantt charts of the simulated schedules (Figure-1 style): FLAT
+alternates between the MAC and VEC units — one of them is always idle — while
+MAS-Attention's semi-synchronous pipeline keeps both busy, finishing the same
+work in a fraction of the time.  The script then sweeps the VEC throughput to
+show where that advantage is largest.
+
+Run::
+
+    python examples/pipeline_timeline.py [network-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import simulated_edge_device
+from repro.analysis import TimelineOptions, render_comparison, run_sensitivity
+from repro.schedulers import make_scheduler
+from repro.workloads import get_network
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "ViT-B/16"
+    hardware = simulated_edge_device()
+    workload = get_network(network).workload()
+
+    print(f"network: {get_network(network).name}   device: {hardware.name}\n")
+
+    traces = {}
+    for method in ("flat", "mas"):
+        scheduler = make_scheduler(method, hardware)
+        traces[scheduler.display_name] = scheduler.simulate(workload).trace
+
+    options = TimelineOptions(width=100, resources=("core0.mac", "core0.vec", "dma"))
+    print(render_comparison(traces, options))
+
+    print("\nIn the FLAT lanes the MAC (M) and VEC (S) bursts alternate; in the")
+    print("MAS-Attention lanes they overlap, which is the whole point of the paper.\n")
+
+    print("Sweeping the VEC throughput (ops/cycle) to see where the overlap pays off most:")
+    sweep = run_sensitivity("vec_throughput", network, values=[8, 16, 32, 64, 128],
+                            search_budget=20)
+    print(sweep.format())
+    print("\nThe speedup peaks when softmax time roughly matches MatMul time — with a far")
+    print("slower or far faster VEC unit one engine dominates and pipelining has less to hide.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""End-to-end generative-AI workload: the reduced Stable Diffusion 1.5 UNet.
+
+Reproduces the Section 5.2.2 experiment: all 15 attention units of the reduced
+SD-1.5 UNet (largest: 2 heads, 4096 tokens, 64 dims) are simulated on the
+DaVinci-like NPU preset under the Layer-Wise baseline and MAS-Attention, and
+the per-unit and end-to-end latency reductions are reported.
+
+Run::
+
+    python examples/stable_diffusion_unet.py [--search]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.sd_unet import (
+    PAPER_END_TO_END_REDUCTION_PCT,
+    PAPER_LARGEST_UNIT_REDUCTION_PCT,
+    run_sd_unet,
+)
+from repro.hardware.presets import davinci_like_npu
+from repro.workloads.stable_diffusion import sd15_reduced_unet
+
+
+def main() -> None:
+    use_search = "--search" in sys.argv
+    unet = sd15_reduced_unet()
+    hardware = davinci_like_npu()
+
+    print(f"device         : {hardware.name} ({hardware.num_cores} cores)")
+    print(f"attention units: {unet.num_units} "
+          f"(largest: {unet.largest_unit.heads} heads x {unet.largest_unit.seq} tokens "
+          f"x {unet.largest_unit.emb} dims)")
+    print(f"tiling         : {'grid-searched per unit' if use_search else 'heuristic defaults'}")
+    print()
+
+    result = run_sd_unet(hardware=hardware, workload=unet, use_search=use_search)
+    print(result.format())
+    print()
+    print("paper reference:")
+    print(f"  largest attention unit runtime reduction : {PAPER_LARGEST_UNIT_REDUCTION_PCT}%")
+    print(f"  end-to-end UNet latency reduction        : {PAPER_END_TO_END_REDUCTION_PCT}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Offline tiling auto-tuning: MCTS + GA search over the multi-tiered tiling space.
+
+Reproduces the Figure-7 workflow for one network: build the tiling search
+space, tune MAS-Attention and FLAT with the MCTS+GA pipeline, print the
+convergence curve (iteration, best-so-far cycles) and compare the searched
+tiling against the untuned heuristic and against the other search strategies.
+
+Run::
+
+    python examples/tiling_autotuning.py [network-name] [budget]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import simulated_edge_device
+from repro.analysis import format_table
+from repro.schedulers import make_scheduler
+from repro.search import AutoTuner, TilingSearchSpace
+from repro.workloads import get_network
+
+
+def downsample(curve: list[tuple[int, float]], points: int = 12) -> list[tuple[int, float]]:
+    if len(curve) <= points:
+        return curve
+    step = max(1, len(curve) // points)
+    sampled = curve[::step]
+    if sampled[-1] != curve[-1]:
+        sampled.append(curve[-1])
+    return sampled
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "BERT-Base"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 120
+    hardware = simulated_edge_device()
+    config = get_network(network)
+    workload = config.workload()
+
+    space = TilingSearchSpace(workload, hardware)
+    print(f"network      : {config.name}")
+    print(f"search space : {space.size} candidate tilings "
+          f"(nq options {space.candidates('nq')}, nkv options {space.candidates('nkv')})")
+    print(f"budget       : {budget} evaluations per method\n")
+
+    # ------------------------- MCTS+GA tuning -------------------------- #
+    tuner = AutoTuner(hardware, strategy="mcts+ga", budget=budget)
+    rows = []
+    for method in ("flat", "mas"):
+        scheduler = make_scheduler(method, hardware)
+        untuned = scheduler.simulate(workload).cycles
+        tuning = tuner.tune(scheduler, workload)
+        rows.append([
+            method,
+            untuned,
+            int(tuning.best_value),
+            round(untuned / tuning.best_value, 2),
+            str(tuning.best_tiling.as_dict()),
+        ])
+        print(f"convergence curve for {method} (iteration -> best cycles):")
+        for iteration, best in downsample(tuning.history.convergence_curve()):
+            print(f"  {iteration:4d}  {best:>12.0f}")
+        print()
+
+    print(format_table(
+        ["method", "untuned cycles", "tuned cycles", "gain", "best tiling"],
+        rows,
+        title="Heuristic vs searched tilings (MCTS + GA)",
+    ))
+
+    # ------------------------ strategy comparison ---------------------- #
+    strategy_rows = []
+    for strategy in ("random", "grid", "mcts", "ga", "mcts+ga"):
+        tuning = AutoTuner(hardware, strategy=strategy, budget=budget).tune("mas", workload)
+        strategy_rows.append([strategy, int(tuning.best_value), tuning.num_evaluations])
+    print()
+    print(format_table(
+        ["strategy", "best cycles", "evaluations"],
+        strategy_rows,
+        title="Search-strategy comparison for MAS-Attention",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` works in offline environments whose
+setuptools/pip combination lacks the ``wheel`` package required for PEP 660
+editable installs (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Scalar metrics used by the experiment tables (speedup, savings, geomean)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.utils.validation import require
+
+__all__ = ["speedup", "energy_savings_pct", "geometric_mean", "normalize_to"]
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """Speedup of ``candidate`` over ``baseline`` (``baseline / candidate``).
+
+    A value above 1 means the candidate is faster.  This is the convention of
+    Table 2 ("Speedup (MAS-Attention vs. Others)"), where the baseline is the
+    other method and the candidate is MAS-Attention.
+    """
+    require(baseline > 0, f"baseline must be positive, got {baseline}")
+    require(candidate > 0, f"candidate must be positive, got {candidate}")
+    return baseline / candidate
+
+
+def energy_savings_pct(baseline: float, candidate: float) -> float:
+    """Energy savings of ``candidate`` relative to ``baseline`` in percent.
+
+    Positive values mean the candidate consumes less energy; negative values
+    (as for some FuseMax comparisons in Table 3) mean it consumes more.
+    """
+    require(baseline > 0, f"baseline must be positive, got {baseline}")
+    require(candidate >= 0, f"candidate must be non-negative, got {candidate}")
+    return (1.0 - candidate / baseline) * 100.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the summary row of Tables 2 and 3)."""
+    values = list(values)
+    require(len(values) > 0, "geometric_mean needs at least one value")
+    for v in values:
+        require(v > 0, f"geometric_mean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to(values: Sequence[float], reference: float) -> list[float]:
+    """Normalize ``values`` by ``reference`` (the Figure 5 normalized exec time)."""
+    require(reference > 0, f"reference must be positive, got {reference}")
+    return [v / reference for v in values]

@@ -1,0 +1,139 @@
+"""ASCII timeline (Gantt) rendering of simulation traces.
+
+The qualitative argument of the paper is easiest to see on a timeline: FLAT's
+MAC and VEC lanes alternate (one is always idle), while MAS-Attention keeps
+both busy.  :func:`render_timeline` draws exactly that — one row per hardware
+resource, time flowing left to right, one character per time bucket — and
+:func:`render_comparison` stacks two schedules (e.g. FLAT vs MAS) over a common
+time scale so their makespans can be compared visually.  Used by the
+``mas-attention timeline`` CLI command and the profiling example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Trace
+from repro.sim.tasks import TaskKind
+from repro.utils.validation import check_positive_int, require
+
+__all__ = ["TimelineOptions", "render_timeline", "render_comparison", "lane_symbols"]
+
+#: Symbol drawn per task kind (the busiest kind in a bucket wins).
+KIND_SYMBOLS: dict[TaskKind, str] = {
+    TaskKind.MATMUL: "M",
+    TaskKind.SOFTMAX: "S",
+    TaskKind.VECOP: "v",
+    TaskKind.LOAD: "l",
+    TaskKind.STORE: "s",
+    TaskKind.BARRIER: "|",
+}
+
+#: Priority when several task kinds overlap inside one bucket (compute wins).
+_KIND_PRIORITY = (
+    TaskKind.MATMUL,
+    TaskKind.SOFTMAX,
+    TaskKind.VECOP,
+    TaskKind.LOAD,
+    TaskKind.STORE,
+    TaskKind.BARRIER,
+)
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering options.
+
+    Attributes
+    ----------
+    width:
+        Number of character buckets the full time range is divided into.
+    resources:
+        Resource subset (and order) to draw; ``None`` draws every resource in
+        first-use order.
+    show_legend:
+        Whether to append the symbol legend.
+    """
+
+    width: int = 100
+    resources: tuple[str, ...] | None = None
+    show_legend: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.width, "width")
+
+
+def lane_symbols(trace: Trace, resource: str, width: int, total_cycles: int) -> str:
+    """One resource's lane as a string of ``width`` bucket symbols."""
+    check_positive_int(width, "width")
+    require(total_cycles >= 0, "total_cycles must be >= 0")
+    if total_cycles == 0:
+        return "." * width
+
+    # For every bucket, pick the highest-priority kind that overlaps it.
+    bucket = float(total_cycles) / width
+    lane = ["."] * width
+    chosen_priority = [len(_KIND_PRIORITY)] * width
+    for record in trace.records_on(resource):
+        if record.duration <= 0:
+            continue
+        kind = record.task.kind
+        priority = _KIND_PRIORITY.index(kind) if kind in _KIND_PRIORITY else len(_KIND_PRIORITY)
+        first = min(width - 1, int(record.start / bucket))
+        last = min(width - 1, int(max(record.start, record.finish - 1) / bucket))
+        for i in range(first, last + 1):
+            if priority < chosen_priority[i]:
+                chosen_priority[i] = priority
+                lane[i] = KIND_SYMBOLS.get(kind, "?")
+    return "".join(lane)
+
+
+def render_timeline(
+    trace: Trace, options: TimelineOptions | None = None, title: str = ""
+) -> str:
+    """Render ``trace`` as an ASCII Gantt chart (one lane per resource)."""
+    options = options or TimelineOptions()
+    resources = list(options.resources) if options.resources else trace.resources()
+    total = trace.total_cycles
+    label_width = max((len(r) for r in resources), default=8)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'cycles':>{label_width}} : 0 .. {total}")
+    for resource in resources:
+        lane = lane_symbols(trace, resource, options.width, total)
+        busy = trace.utilization(resource)
+        lines.append(f"{resource:>{label_width}} : {lane} {busy:5.1%}")
+    if options.show_legend:
+        legend = "  ".join(f"{symbol}={kind.value}" for kind, symbol in KIND_SYMBOLS.items())
+        lines.append(f"{'legend':>{label_width}} : {legend}  .=idle")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    traces: dict[str, Trace], options: TimelineOptions | None = None
+) -> str:
+    """Render several schedules over a *common* time scale.
+
+    The time axis is normalized to the slowest schedule, so a faster schedule's
+    lanes simply stop early — the visual equivalent of the speedup columns in
+    Table 2.
+    """
+    require(len(traces) > 0, "traces must not be empty")
+    options = options or TimelineOptions()
+    slowest = max(trace.total_cycles for trace in traces.values())
+
+    sections: list[str] = []
+    for name, trace in traces.items():
+        resources = list(options.resources) if options.resources else trace.resources()
+        label_width = max((len(r) for r in resources), default=8)
+        lines = [f"-- {name}: {trace.total_cycles} cycles "
+                 f"({trace.total_cycles / slowest:.0%} of slowest)"]
+        for resource in resources:
+            lane = lane_symbols(trace, resource, options.width, slowest)
+            lines.append(f"{resource:>{label_width}} : {lane}")
+        sections.append("\n".join(lines))
+    legend = "  ".join(f"{symbol}={kind.value}" for kind, symbol in KIND_SYMBOLS.items())
+    sections.append(f"legend: {legend}  .=idle")
+    return "\n\n".join(sections)

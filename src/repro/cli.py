@@ -1,0 +1,241 @@
+"""Command-line interface: run any experiment of the paper from the shell.
+
+Examples
+--------
+.. code-block:: console
+
+   $ mas-attention networks                 # print Table 1
+   $ mas-attention compare BERT-Base        # untuned comparison of all methods
+   $ mas-attention table2 --budget 60       # Table 2 (cycles + speedups)
+   $ mas-attention table3                   # Table 3 (energy + savings)
+   $ mas-attention fig5                     # Figure 5 (DaVinci-like NPU)
+   $ mas-attention fig6                     # Figure 6 (energy breakdown)
+   $ mas-attention fig7                     # Figure 7 (search convergence)
+   $ mas-attention dram                     # Section 5.4 DRAM analysis
+   $ mas-attention limits                   # Section 5.6 sequence limits
+   $ mas-attention sdunet                   # Section 5.2.2 SD-1.5 UNet
+   $ mas-attention ablation overwrite       # design ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro import __version__, quick_compare
+from repro.analysis import (
+    ExperimentRunner,
+    TimelineOptions,
+    format_table,
+    render_comparison,
+    run_dram_analysis,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_limits,
+    run_overwrite_ablation,
+    run_sd_unet,
+    run_search_ablation,
+    run_sensitivity,
+    run_table2,
+    run_table3,
+    run_tiling_ablation,
+)
+from repro.hardware.presets import get_preset
+from repro.schedulers.registry import list_schedulers, make_scheduler
+from repro.utils.serialization import dump_json, to_jsonable
+from repro.workloads.networks import get_network, table1_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mas-attention",
+        description="MAS-Attention (MLSys 2025) reproduction experiments",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_runner_args(p: argparse.ArgumentParser, default_hw: str = "edge-sim") -> None:
+        p.add_argument("--hardware", default=default_hw, help="hardware preset name")
+        p.add_argument("--budget", type=int, default=60, help="tiling search budget")
+        p.add_argument("--no-search", action="store_true", help="use heuristic tilings only")
+        p.add_argument("--networks", nargs="*", default=None, help="subset of Table-1 networks")
+        p.add_argument("--json", dest="json_path", default=None, help="also dump results as JSON")
+
+    sub.add_parser("networks", help="print the Table-1 network registry")
+
+    p = sub.add_parser("compare", help="untuned comparison of all methods on one network")
+    p.add_argument("network", help="Table-1 network name (prefix match)")
+    p.add_argument("--hardware", default="edge-sim")
+
+    for name, help_text in (
+        ("table2", "Table 2: cycles and speedups"),
+        ("table3", "Table 3: energy and savings"),
+        ("fig6", "Figure 6: energy breakdown"),
+        ("fig7", "Figure 7: search convergence"),
+        ("dram", "Section 5.4: DRAM access analysis"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_runner_args(p)
+
+    p = sub.add_parser("fig5", help="Figure 5: normalized execution time on the DaVinci-like NPU")
+    add_runner_args(p, default_hw="davinci-like")
+
+    p = sub.add_parser("limits", help="Section 5.6: maximum sequence length limits")
+    p.add_argument("--hardware", default="edge-sim")
+    p.add_argument("--emb", type=int, default=64)
+
+    p = sub.add_parser("sdunet", help="Section 5.2.2: Stable Diffusion 1.5 reduced UNet")
+    p.add_argument("--hardware", default="davinci-like")
+    p.add_argument("--search", action="store_true", help="grid-search tilings per unit")
+
+    p = sub.add_parser("ablation", help="design-choice ablations")
+    p.add_argument("which", choices=["overwrite", "tiling", "search"])
+    p.add_argument("--budget", type=int, default=40)
+
+    p = sub.add_parser("timeline", help="ASCII Gantt timeline of two dataflows on one network")
+    p.add_argument("network", help="Table-1 network name (prefix match)")
+    p.add_argument("--methods", nargs="*", default=["flat", "mas"])
+    p.add_argument("--hardware", default="edge-sim")
+    p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser("sweep", help="hardware sensitivity sweep (MAS vs FLAT)")
+    p.add_argument(
+        "parameter", choices=["l1_bytes", "dram_bytes_per_cycle", "vec_throughput"]
+    )
+    p.add_argument("--network", default="BERT-Base")
+    p.add_argument("--budget", type=int, default=30)
+    p.add_argument("--no-search", action="store_true")
+
+    return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        hardware=get_preset(args.hardware),
+        search_budget=args.budget,
+        use_search=not args.no_search,
+    )
+
+
+def _emit(text: str, result: object, json_path: str | None) -> None:
+    print(text)
+    if json_path:
+        if hasattr(result, "as_rows"):
+            payload = {"rows": to_jsonable(result.as_rows())}
+        else:
+            payload = to_jsonable(result)
+        dump_json(payload, json_path)
+        print(f"\n[json written to {json_path}]")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "networks":
+        rows = table1_rows()
+        print(
+            format_table(
+                ["Network", "#Heads", "#Seq", "Hidden", "EmbK,V"],
+                [[r["network"], r["heads"], r["seq"], r["hidden"], r["emb_kv"]] for r in rows],
+                title="Table 1: network configuration and hyper-parameters",
+            )
+        )
+        return 0
+
+    if args.command == "compare":
+        rows = quick_compare(args.network, hardware=get_preset(args.hardware))
+        print(
+            format_table(
+                ["Method", "cycles", "latency (ms)", "energy (1e9 pJ)", "DRAM rd (B)", "DRAM wr (B)"],
+                [
+                    [
+                        r["scheduler"],
+                        r["cycles"],
+                        r["latency_ms"],
+                        r["energy_pj"] / 1e9,
+                        r["dram_bytes_read"],
+                        r["dram_bytes_written"],
+                    ]
+                    for r in rows
+                ],
+                title=f"Untuned comparison on {args.network} ({args.hardware})",
+            )
+        )
+        return 0
+
+    if args.command == "limits":
+        result = run_limits(hardware=get_preset(args.hardware), emb=args.emb)
+        print(result.format())
+        return 0
+
+    if args.command == "sdunet":
+        result = run_sd_unet(hardware=get_preset(args.hardware), use_search=args.search)
+        print(result.format())
+        return 0
+
+    if args.command == "ablation":
+        if args.which == "overwrite":
+            result = run_overwrite_ablation()
+        elif args.which == "tiling":
+            result = run_tiling_ablation(search_budget=args.budget)
+        else:
+            result = run_search_ablation(budget=args.budget)
+        print(result.format())
+        return 0
+
+    if args.command == "timeline":
+        hardware = get_preset(args.hardware)
+        workload = get_network(args.network).workload()
+        unknown = [m for m in args.methods if m not in list_schedulers()]
+        if unknown:
+            raise SystemExit(f"unknown methods {unknown}; available: {list_schedulers()}")
+        traces = {
+            method: make_scheduler(method, hardware).simulate(workload).trace
+            for method in args.methods
+        }
+        resources = ("core0.mac", "core0.vec", "dma")
+        print(
+            render_comparison(
+                traces, TimelineOptions(width=args.width, resources=resources)
+            )
+        )
+        return 0
+
+    if args.command == "sweep":
+        result = run_sensitivity(
+            parameter=args.parameter,
+            network=args.network,
+            search_budget=args.budget,
+            use_search=not args.no_search,
+        )
+        print(result.format())
+        return 0
+
+    runner = _make_runner(args)
+    if args.command == "table2":
+        result = run_table2(runner, networks=args.networks)
+    elif args.command == "table3":
+        result = run_table3(runner, networks=args.networks)
+    elif args.command == "fig5":
+        result = run_figure5(runner, networks=args.networks)
+    elif args.command == "fig6":
+        result = run_figure6(runner, networks=args.networks)
+    elif args.command == "fig7":
+        result = run_figure7(runner, networks=args.networks)
+    elif args.command == "dram":
+        result = run_dram_analysis(runner, networks=args.networks)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command!r}")
+    _emit(result.format(), result, args.json_path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,277 @@
+"""Shared tile-level cost accounting.
+
+Every dataflow (MAS-Attention and all baselines) is built from the same four
+kinds of tile tasks — Q/K/V/C/P/O DMA transfers, ``QK^T`` tile MatMuls,
+row-wise softmax tiles, and ``PV`` tile MatMuls.  :class:`TileCosts` computes
+the cycle counts and access counters of those tasks from the hardware
+configuration, so all schedulers share exactly the same cost primitives and
+differ only in *which* tasks they emit and *how* they are ordered and
+overlapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.compute_units import (
+    elementwise_cycles,
+    elementwise_vec_ops,
+    matmul_cycles,
+    matmul_macs,
+    softmax_cycles,
+    softmax_vec_ops,
+)
+from repro.hardware.config import HardwareConfig
+from repro.hardware.memory import dma_cycles
+from repro.core.tiling import TilingConfig
+from repro.utils.validation import ceil_div, check_positive_int
+from repro.workloads.attention import AttentionWorkload
+
+
+@dataclass(frozen=True)
+class Block:
+    """One (batch-head group, query row-block) unit of the outer iteration space."""
+
+    index: int
+    core: int
+    head_group: int
+    row_block: int
+    rows: int
+    group_size: int
+    first_in_group: bool
+
+    def label(self) -> str:
+        """Short label used in task names."""
+        return f"g{self.head_group}r{self.row_block}"
+
+
+def partition_blocks(
+    workload: AttentionWorkload, tiling: TilingConfig, num_cores: int
+) -> list[list[Block]]:
+    """Split the outer iteration space into per-core block lists.
+
+    Head groups (blocks of ``bb`` batches x ``hh`` heads) are assigned to cores
+    round-robin; all row-blocks of a head group stay on the same core so that
+    resident K/V tiles can be reused across them.
+    """
+    check_positive_int(num_cores, "num_cores")
+    num_groups = tiling.num_head_groups(workload)
+    num_rows = tiling.num_row_blocks(workload)
+    total_problems = workload.batch * workload.heads
+    base_group = tiling.group_size
+
+    per_core: list[list[Block]] = [[] for _ in range(num_cores)]
+    for group in range(num_groups):
+        core = group % num_cores
+        # The last head group may cover fewer (batch, head) problems.
+        covered = min(base_group, total_problems - group * base_group)
+        if covered <= 0:
+            covered = base_group
+        for row in range(num_rows):
+            rows = min(tiling.nq, workload.seq_q - row * tiling.nq)
+            per_core[core].append(
+                Block(
+                    index=len(per_core[core]),
+                    core=core,
+                    head_group=group,
+                    row_block=row,
+                    rows=rows,
+                    group_size=covered,
+                    first_in_group=(row == 0),
+                )
+            )
+    return per_core
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Cycle count plus access counters for one task."""
+
+    cycles: int
+    counters: dict[str, int]
+
+
+class TileCosts:
+    """Cost primitives for the tile tasks of one workload on one device."""
+
+    def __init__(
+        self, workload: AttentionWorkload, hardware: HardwareConfig, tiling: TilingConfig
+    ) -> None:
+        tiling.validate_for(workload)
+        self.workload = workload
+        self.hardware = hardware
+        self.tiling = tiling
+        self.dtype = workload.dtype_bytes
+        # Actual row counts of every K/V sub-matrix tile.
+        self.kv_tile_rows: list[int] = []
+        remaining = workload.seq_kv
+        while remaining > 0:
+            rows = min(tiling.nkv, remaining)
+            self.kv_tile_rows.append(rows)
+            remaining -= rows
+
+    # ------------------------------------------------------------------ #
+    # DMA transfers
+    # ------------------------------------------------------------------ #
+    def _load(self, num_bytes: int) -> TaskCost:
+        return TaskCost(
+            cycles=dma_cycles(self.hardware, num_bytes),
+            counters={"dram_bytes_read": num_bytes, "l1_bytes_written": num_bytes},
+        )
+
+    def _store(self, num_bytes: int) -> TaskCost:
+        return TaskCost(
+            cycles=dma_cycles(self.hardware, num_bytes),
+            counters={"dram_bytes_written": num_bytes, "l1_bytes_read": num_bytes},
+        )
+
+    def q_bytes(self, block: Block) -> int:
+        """Bytes of the Q_i tile of ``block``."""
+        return block.group_size * block.rows * self.workload.emb * self.dtype
+
+    def kv_tile_bytes(self, block: Block, tile: int) -> int:
+        """Bytes of the ``tile``-th K (or V) sub-matrix tile for ``block``'s group."""
+        return block.group_size * self.kv_tile_rows[tile] * self.workload.emb * self.dtype
+
+    def score_bytes(self, block: Block) -> int:
+        """Bytes of the C_i / P_i score block of ``block`` (full KV width)."""
+        return block.group_size * block.rows * self.workload.seq_kv * self.dtype
+
+    def score_tile_bytes(self, block: Block, tile: int) -> int:
+        """Bytes of the (rows x nkv) sub-tile of the score block."""
+        return block.group_size * block.rows * self.kv_tile_rows[tile] * self.dtype
+
+    def o_bytes(self, block: Block) -> int:
+        """Bytes of the O_i output tile of ``block``."""
+        return block.group_size * block.rows * self.workload.emb * self.dtype
+
+    def load_q(self, block: Block) -> TaskCost:
+        """DMA load of Q_i."""
+        return self._load(self.q_bytes(block))
+
+    def load_kv_tile(self, block: Block, tile: int) -> TaskCost:
+        """DMA load of one K or V sub-matrix tile."""
+        return self._load(self.kv_tile_bytes(block, tile))
+
+    def load_score(self, block: Block) -> TaskCost:
+        """DMA load of a full score block (used by Layer-Wise / Soft-Pipe)."""
+        return self._load(self.score_bytes(block))
+
+    def load_score_tile(self, block: Block, tile: int) -> TaskCost:
+        """DMA load of one score sub-tile (used by Layer-Wise stage 3)."""
+        return self._load(self.score_tile_bytes(block, tile))
+
+    def store_score(self, block: Block) -> TaskCost:
+        """DMA store of a full score block (used by Layer-Wise / Soft-Pipe)."""
+        return self._store(self.score_bytes(block))
+
+    def store_score_tile(self, block: Block, tile: int) -> TaskCost:
+        """DMA store of one score sub-tile (used by Layer-Wise stage 1)."""
+        return self._store(self.score_tile_bytes(block, tile))
+
+    def store_o(self, block: Block) -> TaskCost:
+        """DMA store of O_i."""
+        return self._store(self.o_bytes(block))
+
+    # ------------------------------------------------------------------ #
+    # Compute tasks
+    # ------------------------------------------------------------------ #
+    def _matmul(self, m: int, k: int, n: int, group: int) -> TaskCost:
+        cycles = group * matmul_cycles(self.hardware.mac, m, k, n)
+        macs = group * matmul_macs(m, k, n)
+        a_bytes = group * m * k * self.dtype
+        b_bytes = group * k * n * self.dtype
+        out_bytes = group * m * n * self.dtype
+        return TaskCost(
+            cycles=cycles,
+            counters={
+                "mac_ops": macs,
+                "l1_bytes_read": a_bytes + b_bytes,
+                "l1_bytes_written": out_bytes,
+                "l0_bytes_read": 2 * macs * self.dtype,
+                "l0_bytes_written": macs * self.dtype,
+            },
+        )
+
+    def qk_tile(self, block: Block, tile: int) -> TaskCost:
+        """MatMul of Q_i (rows x E) with one K tile (E x nkv) on the MAC unit."""
+        return self._matmul(block.rows, self.workload.emb, self.kv_tile_rows[tile], block.group_size)
+
+    def pv_tile(self, block: Block, tile: int) -> TaskCost:
+        """MatMul of one P_i sub-tile (rows x nkv) with one V tile (nkv x E)."""
+        return self._matmul(block.rows, self.kv_tile_rows[tile], self.workload.emb, block.group_size)
+
+    def softmax(self, block: Block) -> TaskCost:
+        """Row-wise softmax of the full score block on the VEC unit."""
+        rows = block.group_size * block.rows
+        cols = self.workload.seq_kv
+        cycles = softmax_cycles(self.hardware.vec, rows, cols)
+        ops = softmax_vec_ops(rows, cols, self.hardware.vec)
+        score = self.score_bytes(block)
+        return TaskCost(
+            cycles=cycles,
+            counters={
+                "vec_ops": ops,
+                "l1_bytes_read": score,
+                "l1_bytes_written": score,
+                "l0_bytes_read": ops * self.dtype,
+                "l0_bytes_written": score,
+            },
+        )
+
+    def softmax_tile(self, block: Block, tile: int, correction_ops_per_element: int = 4) -> TaskCost:
+        """Online-softmax update for one score sub-tile (FuseMax-style).
+
+        Besides the plain softmax work on the sub-tile, the online formulation
+        pays correction operations per element of the running output
+        accumulator (running-max update, rescale, running-sum update).
+        """
+        rows = block.group_size * block.rows
+        cols = self.kv_tile_rows[tile]
+        base_cycles = softmax_cycles(self.hardware.vec, rows, cols)
+        base_ops = softmax_vec_ops(rows, cols, self.hardware.vec)
+        acc_elems = block.group_size * block.rows * self.workload.emb
+        corr_cycles = elementwise_cycles(self.hardware.vec, acc_elems, correction_ops_per_element)
+        corr_ops = elementwise_vec_ops(acc_elems, correction_ops_per_element)
+        tile_bytes = self.score_tile_bytes(block, tile)
+        acc_bytes = acc_elems * self.dtype
+        return TaskCost(
+            cycles=base_cycles + corr_cycles,
+            counters={
+                "vec_ops": base_ops + corr_ops,
+                "l1_bytes_read": tile_bytes + acc_bytes,
+                "l1_bytes_written": tile_bytes + acc_bytes,
+                "l0_bytes_read": (base_ops + corr_ops) * self.dtype,
+                "l0_bytes_written": tile_bytes,
+            },
+        )
+
+    def output_normalize(self, block: Block) -> TaskCost:
+        """Final O_i normalization by the softmax denominator (FuseMax epilogue)."""
+        elems = block.group_size * block.rows * self.workload.emb
+        cycles = elementwise_cycles(self.hardware.vec, elems, 1)
+        ops = elementwise_vec_ops(elems, 1)
+        o_bytes = elems * self.dtype
+        return TaskCost(
+            cycles=cycles,
+            counters={
+                "vec_ops": ops,
+                "l1_bytes_read": o_bytes,
+                "l1_bytes_written": o_bytes,
+                "l0_bytes_read": ops * self.dtype,
+                "l0_bytes_written": o_bytes,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def num_kv_tiles(self) -> int:
+        """Number of K/V sub-matrix tiles."""
+        return len(self.kv_tile_rows)
+
+    def mandatory_dram_bytes(self) -> int:
+        """DRAM traffic every dataflow must pay at least once: Q, K, V in and O out."""
+        w = self.workload
+        return w.q_bytes + w.k_bytes + w.v_bytes + w.output_bytes

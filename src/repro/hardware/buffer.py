@@ -1,0 +1,179 @@
+"""On-chip (L1) buffer manager.
+
+The proactive overwrite strategy of MAS-Attention (Section 4.3) needs a model
+of what is resident in the shared L1 buffer at any point of the pipelined
+schedule.  :class:`BufferManager` provides named allocations with explicit
+alloc/free/evict operations and records every eviction so the scheduler can
+emit the corresponding DRAM reload tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive_int, require
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when an allocation cannot fit even after evicting evictable data."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named region resident in the on-chip buffer."""
+
+    name: str
+    num_bytes: int
+    evictable: bool = False
+    tag: str = ""
+
+
+@dataclass
+class EvictionEvent:
+    """Record of a proactive overwrite: which allocation was dropped and why."""
+
+    victim: str
+    num_bytes: int
+    requested_by: str
+    tag: str = ""
+
+
+@dataclass
+class BufferManager:
+    """Tracks named allocations against a fixed capacity with eviction support.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable capacity of the buffer (e.g. the per-core L1 size).
+    """
+
+    capacity_bytes: int
+    _allocations: dict[str, Allocation] = field(default_factory=dict)
+    _evictions: list[EvictionEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.capacity_bytes, "capacity_bytes")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.num_bytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def evictions(self) -> list[EvictionEvent]:
+        """All eviction events recorded so far (oldest first)."""
+        return list(self._evictions)
+
+    def contains(self, name: str) -> bool:
+        """Whether an allocation named ``name`` is resident."""
+        return name in self._allocations
+
+    def get(self, name: str) -> Allocation:
+        """Return the allocation named ``name`` (KeyError if absent)."""
+        return self._allocations[name]
+
+    def resident_names(self) -> list[str]:
+        """Names of all resident allocations, in insertion order."""
+        return list(self._allocations)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def alloc(
+        self,
+        name: str,
+        num_bytes: int,
+        evictable: bool = False,
+        tag: str = "",
+        allow_evict: bool = True,
+    ) -> list[EvictionEvent]:
+        """Allocate ``num_bytes`` under ``name``.
+
+        If there is not enough free space and ``allow_evict`` is true,
+        evictable allocations are dropped (largest first) until the request
+        fits; the eviction events are returned so the caller can schedule
+        reloads.  Raises :class:`BufferOverflowError` if the request cannot be
+        satisfied.
+        """
+        require(num_bytes >= 0, "num_bytes must be >= 0")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already resident")
+        if num_bytes > self.capacity_bytes:
+            raise BufferOverflowError(
+                f"allocation {name!r} of {num_bytes} B exceeds capacity "
+                f"{self.capacity_bytes} B"
+            )
+        events: list[EvictionEvent] = []
+        if num_bytes > self.free_bytes:
+            if not allow_evict:
+                raise BufferOverflowError(
+                    f"allocation {name!r} of {num_bytes} B does not fit "
+                    f"({self.free_bytes} B free) and eviction is disabled"
+                )
+            events = self._evict_until_fits(num_bytes, requested_by=name)
+        self._allocations[name] = Allocation(
+            name=name, num_bytes=num_bytes, evictable=evictable, tag=tag
+        )
+        return events
+
+    def free(self, name: str) -> None:
+        """Release the allocation named ``name``."""
+        if name not in self._allocations:
+            raise KeyError(f"allocation {name!r} is not resident")
+        del self._allocations[name]
+
+    def free_if_present(self, name: str) -> bool:
+        """Release ``name`` if resident; return whether anything was freed."""
+        if name in self._allocations:
+            del self._allocations[name]
+            return True
+        return False
+
+    def evict(self, name: str, requested_by: str = "") -> EvictionEvent:
+        """Explicitly evict a resident allocation and record the event."""
+        alloc = self._allocations.pop(name, None)
+        if alloc is None:
+            raise KeyError(f"allocation {name!r} is not resident")
+        event = EvictionEvent(
+            victim=name, num_bytes=alloc.num_bytes, requested_by=requested_by, tag=alloc.tag
+        )
+        self._evictions.append(event)
+        return event
+
+    def reset(self) -> None:
+        """Drop all allocations and eviction history."""
+        self._allocations.clear()
+        self._evictions.clear()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _evict_until_fits(self, num_bytes: int, requested_by: str) -> list[EvictionEvent]:
+        events: list[EvictionEvent] = []
+        candidates = sorted(
+            (a for a in self._allocations.values() if a.evictable),
+            key=lambda a: a.num_bytes,
+            reverse=True,
+        )
+        for victim in candidates:
+            if num_bytes <= self.free_bytes:
+                break
+            events.append(self.evict(victim.name, requested_by=requested_by))
+        if num_bytes > self.free_bytes:
+            # Roll back is not needed: evictions already happened and are
+            # legitimate (the caller still cannot proceed).
+            raise BufferOverflowError(
+                f"allocation {requested_by!r} of {num_bytes} B cannot fit even after "
+                f"evicting all evictable data ({self.free_bytes} B free of "
+                f"{self.capacity_bytes} B)"
+            )
+        return events

@@ -1,0 +1,129 @@
+"""Accelergy-style energy model.
+
+The paper uses Accelergy to convert simulated access counts into energy.  We
+reproduce the same structure: every simulated task accumulates access counters
+(bytes moved per memory level, MAC/VEC operations), and the energy model maps
+those counters to per-component energy using pJ/byte and pJ/op coefficients
+from the :class:`~repro.hardware.config.HardwareConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.hardware.config import HardwareConfig
+from repro.utils.validation import require
+
+
+@dataclass
+class AccessCounters:
+    """Aggregate access/operation counters produced by a simulation trace."""
+
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    l1_bytes_read: int = 0
+    l1_bytes_written: int = 0
+    l0_bytes_read: int = 0
+    l0_bytes_written: int = 0
+    mac_ops: int = 0
+    vec_ops: int = 0
+    total_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            require(getattr(self, f.name) >= 0, f"{f.name} must be >= 0")
+
+    def __add__(self, other: "AccessCounters") -> "AccessCounters":
+        return AccessCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+                if f.name != "total_cycles"
+            },
+            total_cycles=max(self.total_cycles, other.total_cycles),
+        )
+
+    @property
+    def dram_bytes_total(self) -> int:
+        """Total off-chip traffic in bytes."""
+        return self.dram_bytes_read + self.dram_bytes_written
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (picojoules) split by hardware component, as in Figure 6."""
+
+    dram_pj: float = 0.0
+    l1_pj: float = 0.0
+    l0_pj: float = 0.0
+    mac_pe_pj: float = 0.0
+    vec_pe_pj: float = 0.0
+    leakage_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        """Total energy in picojoules."""
+        return (
+            self.dram_pj
+            + self.l1_pj
+            + self.l0_pj
+            + self.mac_pe_pj
+            + self.vec_pe_pj
+            + self.leakage_pj
+        )
+
+    @property
+    def onchip_memory_pj(self) -> float:
+        """Combined L1+L0 on-chip memory energy."""
+        return self.l1_pj + self.l0_pj
+
+    @property
+    def pe_pj(self) -> float:
+        """Combined MAC+VEC processing-element energy."""
+        return self.mac_pe_pj + self.vec_pe_pj
+
+    def as_dict(self) -> dict[str, float]:
+        """Component -> picojoules mapping (plus the total)."""
+        return {
+            "DRAM": self.dram_pj,
+            "L1": self.l1_pj,
+            "L0": self.l0_pj,
+            "MAC_PE": self.mac_pe_pj,
+            "VEC_PE": self.vec_pe_pj,
+            "leakage": self.leakage_pj,
+            "total": self.total_pj,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Maps :class:`AccessCounters` to an :class:`EnergyBreakdown` for a device."""
+
+    config: HardwareConfig
+
+    def compute(self, counters: AccessCounters) -> EnergyBreakdown:
+        """Convert access counters to per-component energy in picojoules."""
+        cfg = self.config
+        dram = (
+            counters.dram_bytes_read * cfg.dram.read_pj_per_byte
+            + counters.dram_bytes_written * cfg.dram.write_pj_per_byte
+        )
+        l1 = (
+            counters.l1_bytes_read * cfg.l1.read_pj_per_byte
+            + counters.l1_bytes_written * cfg.l1.write_pj_per_byte
+        )
+        l0 = (
+            counters.l0_bytes_read * cfg.l0.read_pj_per_byte
+            + counters.l0_bytes_written * cfg.l0.write_pj_per_byte
+        )
+        mac = counters.mac_ops * cfg.mac_pj_per_op
+        vec = counters.vec_ops * cfg.vec_pj_per_op
+        leakage = counters.total_cycles * cfg.leakage_pj_per_cycle
+        return EnergyBreakdown(
+            dram_pj=dram,
+            l1_pj=l1,
+            l0_pj=l0,
+            mac_pe_pj=mac,
+            vec_pe_pj=vec,
+            leakage_pj=leakage,
+        )

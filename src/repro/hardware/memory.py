@@ -1,0 +1,60 @@
+"""Memory-hierarchy helpers: DMA transfer cost and a hierarchy facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import HardwareConfig, MemoryLevelSpec
+from repro.utils.validation import ceil_div, require
+
+
+def dma_cycles(config: HardwareConfig, num_bytes: int) -> int:
+    """Cycles for a DRAM<->L1 DMA transfer of ``num_bytes`` bytes.
+
+    The transfer is limited by the DRAM channel bandwidth and pays a fixed
+    per-transfer setup cost (descriptor programming, bus arbitration).
+    Zero-byte transfers are free.
+    """
+    require(num_bytes >= 0, "num_bytes must be >= 0")
+    if num_bytes == 0:
+        return 0
+    transfer = ceil_div(num_bytes, max(1, int(config.dma.bytes_per_cycle)))
+    # Account for fractional bytes/cycle bandwidths (< 1 B/cycle).
+    if config.dma.bytes_per_cycle < 1.0:
+        transfer = int(num_bytes / config.dma.bytes_per_cycle + 0.999999)
+    return transfer + config.dma.setup_cycles
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Convenience facade over the three memory levels of a :class:`HardwareConfig`."""
+
+    config: HardwareConfig
+
+    @property
+    def dram(self) -> MemoryLevelSpec:
+        return self.config.dram
+
+    @property
+    def l1(self) -> MemoryLevelSpec:
+        return self.config.l1
+
+    @property
+    def l0(self) -> MemoryLevelSpec:
+        return self.config.l0
+
+    def levels(self) -> tuple[MemoryLevelSpec, MemoryLevelSpec, MemoryLevelSpec]:
+        """All levels ordered from farthest (DRAM) to nearest (L0)."""
+        return (self.dram, self.l1, self.l0)
+
+    def level_by_name(self, name: str) -> MemoryLevelSpec:
+        """Look up a level by its name (case-insensitive)."""
+        for level in self.levels():
+            if level.name.lower() == name.lower():
+                return level
+        raise KeyError(f"unknown memory level {name!r}")
+
+    def fits_in_l1(self, num_bytes: int) -> bool:
+        """Whether a working set of ``num_bytes`` fits in a core's L1 buffer."""
+        require(num_bytes >= 0, "num_bytes must be >= 0")
+        return num_bytes <= self.config.l1_bytes

@@ -1,0 +1,54 @@
+"""Numerical attention executors and the golden-data check.
+
+The paper validates every dataflow (including MAS-Attention) against golden
+data: the scheduling only changes *when* tiles are computed, never *what* is
+computed, so the output must match the unfused reference bit-for-bit up to
+floating-point accumulation order.  This package provides
+
+* :mod:`repro.numerics.reference` — the unfused NumPy reference attention and
+  the softmax variants (naive, max-stabilized, online/running);
+* :mod:`repro.numerics.tiled` — per-dataflow numerical executors that follow
+  each scheduler's tiling and ordering (Layer-Wise, FLAT row-blocks,
+  MAS-Attention's Algorithms 1-4, FuseMax's online softmax);
+* :mod:`repro.numerics.golden` — the golden-data check harness that generates
+  random Q/K/V for a workload and verifies every executor against the
+  reference.
+"""
+
+from repro.numerics.reference import (
+    naive_softmax,
+    online_softmax,
+    reference_attention,
+    stable_softmax,
+)
+from repro.numerics.tiled import (
+    flat_attention,
+    fusemax_attention,
+    layerwise_attention,
+    mas_attention,
+    softpipe_attention,
+    tileflow_attention,
+)
+from repro.numerics.golden import (
+    GoldenCheckResult,
+    golden_check,
+    make_qkv,
+    EXECUTORS,
+)
+
+__all__ = [
+    "naive_softmax",
+    "stable_softmax",
+    "online_softmax",
+    "reference_attention",
+    "layerwise_attention",
+    "softpipe_attention",
+    "flat_attention",
+    "tileflow_attention",
+    "fusemax_attention",
+    "mas_attention",
+    "GoldenCheckResult",
+    "golden_check",
+    "make_qkv",
+    "EXECUTORS",
+]

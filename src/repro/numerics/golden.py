@@ -1,0 +1,118 @@
+"""Golden-data check: verify every dataflow executor against the reference.
+
+The paper states that every workload "undergoes a rigorous golden data check
+for all methods"; this module is that check.  It generates random Q/K/V
+tensors for an :class:`~repro.workloads.attention.AttentionWorkload`, runs the
+reference attention and every tiled executor, and reports the maximum
+element-wise error per executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.tiling import TilingConfig
+from repro.numerics.reference import reference_attention
+from repro.numerics.tiled import (
+    flat_attention,
+    fusemax_attention,
+    layerwise_attention,
+    mas_attention,
+    softpipe_attention,
+    tileflow_attention,
+)
+from repro.utils.rng import make_rng
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["EXECUTORS", "GoldenCheckResult", "golden_check", "make_qkv"]
+
+#: Executor registry keyed by scheduler short name.  Each callable takes
+#: ``(q, k, v, nq, nkv)`` and returns the attention output.
+EXECUTORS: dict[str, Callable[..., np.ndarray]] = {
+    "layerwise": lambda q, k, v, nq, nkv: layerwise_attention(q, k, v),
+    "softpipe": lambda q, k, v, nq, nkv: softpipe_attention(q, k, v, nq=nq),
+    "flat": lambda q, k, v, nq, nkv: flat_attention(q, k, v, nq=nq, nkv=nkv),
+    "tileflow": lambda q, k, v, nq, nkv: tileflow_attention(q, k, v, nq=nq, nkv=nkv),
+    "fusemax": lambda q, k, v, nq, nkv: fusemax_attention(q, k, v, nq=nq, nkv=nkv),
+    "mas": lambda q, k, v, nq, nkv: mas_attention(q, k, v, nq=nq, nkv=nkv),
+}
+
+
+def make_qkv(
+    workload: AttentionWorkload,
+    seed: int = 0,
+    dtype: np.dtype | type = np.float32,
+    scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random Q/K/V tensors with the workload's ``(B, H, N, E)`` shapes."""
+    rng = make_rng(seed)
+    q_shape = (workload.batch, workload.heads, workload.seq_q, workload.emb)
+    kv_shape = (workload.batch, workload.heads, workload.seq_kv, workload.emb)
+    q = (scale * rng.standard_normal(q_shape)).astype(dtype)
+    k = (scale * rng.standard_normal(kv_shape)).astype(dtype)
+    v = (scale * rng.standard_normal(kv_shape)).astype(dtype)
+    return q, k, v
+
+
+@dataclass
+class GoldenCheckResult:
+    """Outcome of one golden-data check run."""
+
+    workload: AttentionWorkload
+    tiling: TilingConfig
+    tolerance: float
+    max_errors: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every executor matched the reference within tolerance."""
+        return all(err <= self.tolerance for err in self.max_errors.values())
+
+    def failures(self) -> dict[str, float]:
+        """Executors whose error exceeded the tolerance."""
+        return {name: err for name, err in self.max_errors.items() if err > self.tolerance}
+
+    def summary(self) -> str:
+        """One-line textual summary."""
+        status = "PASS" if self.passed else "FAIL"
+        worst = max(self.max_errors.values()) if self.max_errors else 0.0
+        return (
+            f"golden check [{status}] {self.workload.describe()} "
+            f"tiling={self.tiling.as_dict()} worst_err={worst:.3e} tol={self.tolerance:.1e}"
+        )
+
+
+def golden_check(
+    workload: AttentionWorkload,
+    tiling: TilingConfig | None = None,
+    seed: int = 0,
+    tolerance: float = 1e-4,
+    dtype: np.dtype | type = np.float32,
+    executors: dict[str, Callable[..., np.ndarray]] | None = None,
+) -> GoldenCheckResult:
+    """Run the golden-data check for ``workload`` under ``tiling``.
+
+    Parameters
+    ----------
+    workload:
+        Attention shape to validate.  Large Table-1 shapes work but are slow;
+        tests use reduced shapes with the same structure.
+    tiling:
+        Row-block / key-value tile sizes; defaults to ``nq=nkv=64`` clamped to
+        the workload.
+    tolerance:
+        Maximum allowed element-wise absolute error against the reference.
+    executors:
+        Executor subset to check; defaults to :data:`EXECUTORS`.
+    """
+    tiling = (tiling or TilingConfig()).clamp_to(workload)
+    q, k, v = make_qkv(workload, seed=seed, dtype=dtype)
+    reference = reference_attention(q, k, v)
+    result = GoldenCheckResult(workload=workload, tiling=tiling, tolerance=tolerance)
+    for name, executor in (executors or EXECUTORS).items():
+        output = executor(q, k, v, tiling.nq, tiling.nkv)
+        result.max_errors[name] = float(np.max(np.abs(output - reference)))
+    return result

@@ -1,0 +1,261 @@
+"""Tiled numerical executors, one per dataflow.
+
+Each function computes exact attention on real NumPy tensors while following
+the corresponding scheduler's tiling and operator ordering.  They are the
+"golden data check" of the paper: the scheduling strategies differ only in
+how the computation is ordered and staged through memory, so every executor
+must reproduce :func:`repro.numerics.reference.reference_attention` up to
+floating-point accumulation error.
+
+All functions accept ``(B, H, N_q, E)`` queries and ``(B, H, N_kv, E)``
+keys/values plus the row-block (``nq``) and key/value tile (``nkv``) sizes of
+a :class:`~repro.core.tiling.TilingConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stream import OpKind, plan_rounds
+from repro.numerics.reference import attention_scores, stable_softmax
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "layerwise_attention",
+    "softpipe_attention",
+    "flat_attention",
+    "tileflow_attention",
+    "fusemax_attention",
+    "mas_attention",
+]
+
+
+def _check_shapes(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> None:
+    if q.ndim != 4 or k.ndim != 4 or v.ndim != 4:
+        raise ValueError("q, k, v must be 4-D (B, H, N, E) tensors")
+    if q.shape[0] != k.shape[0] or q.shape[1] != k.shape[1]:
+        raise ValueError(f"batch/head mismatch: q={q.shape}, k={k.shape}")
+    if k.shape != v.shape:
+        raise ValueError(f"k and v must have identical shapes, got {k.shape} vs {v.shape}")
+    if q.shape[-1] != k.shape[-1]:
+        raise ValueError(f"embedding mismatch: q={q.shape}, k={k.shape}")
+
+
+def _default_scale(q: np.ndarray, scale: float | None) -> float:
+    return 1.0 / float(np.sqrt(q.shape[-1])) if scale is None else scale
+
+
+# --------------------------------------------------------------------------- #
+# Baselines
+# --------------------------------------------------------------------------- #
+def layerwise_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float | None = None
+) -> np.ndarray:
+    """Layer-Wise execution: full C, then full softmax, then full PV.
+
+    Numerically this is identical to the reference; it exists so the golden
+    check exercises the same code path the Layer-Wise scheduler models.
+    """
+    _check_shapes(q, k, v)
+    scale = _default_scale(q, scale)
+    c = attention_scores(q, k, scale)          # stage 1: C = QK^T (to DRAM)
+    p = stable_softmax(c, axis=-1)             # stage 2: P = softmax(C) (to DRAM)
+    return np.einsum("...qk,...ke->...qe", p, v)  # stage 3: O = PV
+
+
+def softpipe_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    nq: int = 64,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Soft-Pipe execution: row-blocked fused QK^T+softmax, then a separate PV pass."""
+    _check_shapes(q, k, v)
+    check_positive_int(nq, "nq")
+    scale = _default_scale(q, scale)
+    n_q = q.shape[2]
+    p = np.empty(q.shape[:2] + (n_q, k.shape[2]), dtype=np.result_type(q, k))
+    for start in range(0, n_q, nq):
+        qi = q[:, :, start : start + nq, :]
+        ci = attention_scores(qi, k, scale)
+        p[:, :, start : start + nq, :] = stable_softmax(ci, axis=-1)
+    # P is written to DRAM and reloaded; the final MatMul runs unfused.
+    return np.einsum("...qk,...ke->...qe", p, v)
+
+
+def flat_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    nq: int = 64,
+    nkv: int = 64,
+    scale: float | None = None,
+) -> np.ndarray:
+    """FLAT execution: per row-block, fused QK^T -> softmax -> PV, sequentially.
+
+    The key/value tiling (``nkv``) only changes the accumulation order of the
+    two MatMuls, exactly as the sub-matrix tiling does on the accelerator.
+    """
+    _check_shapes(q, k, v)
+    check_positive_int(nq, "nq")
+    check_positive_int(nkv, "nkv")
+    scale = _default_scale(q, scale)
+    b, h, n_q, e = q.shape
+    n_kv = k.shape[2]
+    out = np.empty((b, h, n_q, e), dtype=np.result_type(q, k, v))
+    for start in range(0, n_q, nq):
+        qi = q[:, :, start : start + nq, :]
+        rows = qi.shape[2]
+        # C_i assembled tile by tile (Algorithm-2 style accumulation order).
+        ci = np.empty((b, h, rows, n_kv), dtype=np.result_type(q, k))
+        for ks in range(0, n_kv, nkv):
+            ci[:, :, :, ks : ks + nkv] = attention_scores(qi, k[:, :, ks : ks + nkv, :], scale)
+        pi = stable_softmax(ci, axis=-1)
+        # O_i accumulated over V tiles (Algorithm-4 style).
+        oi = np.zeros((b, h, rows, e), dtype=out.dtype)
+        for ks in range(0, n_kv, nkv):
+            oi += np.einsum(
+                "...qk,...ke->...qe", pi[:, :, :, ks : ks + nkv], v[:, :, ks : ks + nkv, :]
+            )
+        out[:, :, start : start + nq, :] = oi
+    return out
+
+
+def tileflow_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    nq: int = 64,
+    nkv: int = 64,
+    scale: float | None = None,
+) -> np.ndarray:
+    """TileFlow execution: numerically identical to FLAT's fused row-block order.
+
+    TileFlow differs from FLAT only in *when* tiles execute (pipelined rounds),
+    which does not change the arithmetic; the executor therefore shares FLAT's
+    accumulation order.
+    """
+    return flat_attention(q, k, v, nq=nq, nkv=nkv, scale=scale)
+
+
+def fusemax_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    nq: int = 64,
+    nkv: int = 64,
+    scale: float | None = None,
+) -> np.ndarray:
+    """FuseMax execution: single-pass online softmax over key/value sub-tiles.
+
+    For every row-block the key/value dimension is processed in one pass:
+    the running maximum and normalizer are updated per sub-tile and the output
+    accumulator is rescaled accordingly, so the full ``nq x N_kv`` probability
+    matrix is never materialized.
+    """
+    _check_shapes(q, k, v)
+    check_positive_int(nq, "nq")
+    check_positive_int(nkv, "nkv")
+    scale = _default_scale(q, scale)
+    b, h, n_q, e = q.shape
+    n_kv = k.shape[2]
+    out = np.empty((b, h, n_q, e), dtype=np.float64)
+    for start in range(0, n_q, nq):
+        qi = q[:, :, start : start + nq, :].astype(np.float64)
+        rows = qi.shape[2]
+        running_max = np.full((b, h, rows), -np.inf)
+        running_sum = np.zeros((b, h, rows))
+        acc = np.zeros((b, h, rows, e))
+        for ks in range(0, n_kv, nkv):
+            kj = k[:, :, ks : ks + nkv, :].astype(np.float64)
+            vj = v[:, :, ks : ks + nkv, :].astype(np.float64)
+            cj = attention_scores(qi, kj, scale)
+            tile_max = np.max(cj, axis=-1)
+            new_max = np.maximum(running_max, tile_max)
+            correction = np.exp(running_max - new_max)
+            correction = np.where(np.isfinite(correction), correction, 0.0)
+            pj = np.exp(cj - new_max[..., None])
+            running_sum = running_sum * correction + np.sum(pj, axis=-1)
+            acc = acc * correction[..., None] + np.einsum("...qk,...ke->...qe", pj, vj)
+            running_max = new_max
+        out[:, :, start : start + nq, :] = acc / running_sum[..., None]
+    return out.astype(np.result_type(q, k, v), copy=False)
+
+
+# --------------------------------------------------------------------------- #
+# MAS-Attention
+# --------------------------------------------------------------------------- #
+def mas_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    nq: int = 64,
+    nkv: int = 64,
+    scale: float | None = None,
+    return_round_log: bool = False,
+) -> np.ndarray | tuple[np.ndarray, list[str]]:
+    """MAS-Attention execution following Algorithm 1's round structure literally.
+
+    The row-blocks of ``Q`` are processed through the warm-up / regular /
+    finalize rounds of :func:`repro.core.stream.plan_rounds`: within a round
+    the (conceptually parallel) operators are evaluated against the state left
+    by previous rounds, which verifies that the pipeline's data dependencies
+    are sufficient for exactness — ``P_{i-1}`` only ever reads ``C_{i-1}``
+    produced in an earlier round, and ``O_{i-2}`` only reads ``P_{i-2}``.
+
+    With ``return_round_log=True`` the function also returns a per-round log
+    of executed operators (used by tests to assert the Algorithm-1 structure).
+    """
+    _check_shapes(q, k, v)
+    check_positive_int(nq, "nq")
+    check_positive_int(nkv, "nkv")
+    scale = _default_scale(q, scale)
+    b, h, n_q, e = q.shape
+    n_kv = k.shape[2]
+    dtype = np.result_type(q, k, v)
+    out = np.empty((b, h, n_q, e), dtype=dtype)
+
+    # Row-block boundaries (1-based indices in the round plan).
+    starts = list(range(0, n_q, nq))
+    num_blocks = len(starts)
+    c_blocks: dict[int, np.ndarray] = {}
+    p_blocks: dict[int, np.ndarray] = {}
+    log: list[str] = []
+
+    def run_qk(block: int) -> None:
+        start = starts[block - 1]
+        qi = q[:, :, start : start + nq, :]
+        rows = qi.shape[2]
+        ci = np.empty((b, h, rows, n_kv), dtype=np.result_type(q, k))
+        for ks in range(0, n_kv, nkv):
+            ci[:, :, :, ks : ks + nkv] = attention_scores(qi, k[:, :, ks : ks + nkv, :], scale)
+        c_blocks[block] = ci
+
+    def run_softmax(block: int) -> None:
+        if block not in c_blocks:
+            raise RuntimeError(f"softmax of block {block} scheduled before its QK^T")
+        p_blocks[block] = stable_softmax(c_blocks.pop(block), axis=-1)
+
+    def run_pv(block: int) -> None:
+        if block not in p_blocks:
+            raise RuntimeError(f"PV of block {block} scheduled before its softmax")
+        pi = p_blocks.pop(block)
+        start = starts[block - 1]
+        rows = pi.shape[2]
+        oi = np.zeros((b, h, rows, e), dtype=dtype)
+        for ks in range(0, n_kv, nkv):
+            oi += np.einsum(
+                "...qk,...ke->...qe", pi[:, :, :, ks : ks + nkv], v[:, :, ks : ks + nkv, :]
+            )
+        out[:, :, start : start + rows, :] = oi
+
+    dispatch = {OpKind.QK: run_qk, OpKind.SOFTMAX: run_softmax, OpKind.PV: run_pv}
+    for rnd in plan_rounds(num_blocks):
+        for op in rnd.mac_ops + rnd.vec_ops:
+            dispatch[op.kind](op.block)
+            log.append(f"round{rnd.index}:{op}")
+
+    if return_round_log:
+        return out, log
+    return out

@@ -1,0 +1,93 @@
+"""Abstract base class shared by all attention dataflow schedulers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.costs import TileCosts, partition_blocks
+from repro.core.tiling import TilingConfig, default_tiling
+from repro.hardware.config import HardwareConfig
+from repro.sim.executor import simulate
+from repro.sim.tasks import TaskGraph
+from repro.sim.trace import SimulationResult
+from repro.workloads.attention import AttentionWorkload
+
+
+@dataclass
+class BuildResult:
+    """A built task graph plus scheduler-specific metadata."""
+
+    graph: TaskGraph
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class AttentionScheduler(ABC):
+    """One attention dataflow: builds task graphs and simulates them.
+
+    Subclasses define ``name`` / ``display_name`` class attributes, the
+    on-chip footprint model used to validate tilings, and the graph builder.
+    """
+
+    name: ClassVar[str] = "abstract"
+    display_name: ClassVar[str] = "Abstract"
+    #: Whether the dataflow overlaps MAC and VEC work (used in reports only).
+    overlaps_compute: ClassVar[bool] = False
+    #: Whether the tiling search should explore this scheduler's tiling space
+    #: (FuseMax uses manually selected tiling sizes and is excluded).
+    searchable: ClassVar[bool] = True
+
+    def __init__(self, hardware: HardwareConfig) -> None:
+        self.hardware = hardware
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        """Build the task graph for ``workload`` under ``tiling``."""
+
+    @abstractmethod
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        """Peak on-chip residency (bytes) of this dataflow under ``tiling``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared behaviour
+    # ------------------------------------------------------------------ #
+    def default_tiling(self, workload: AttentionWorkload) -> TilingConfig:
+        """Heuristic tiling used when no searched tiling is supplied."""
+        return default_tiling(workload, self.hardware, self.footprint_bytes)
+
+    def fits(self, workload: AttentionWorkload, tiling: TilingConfig) -> bool:
+        """Whether ``tiling`` fits this dataflow's footprint into L1."""
+        return self.footprint_bytes(workload, tiling) <= self.hardware.l1_bytes
+
+    def costs(self, workload: AttentionWorkload, tiling: TilingConfig) -> TileCosts:
+        """Tile cost helper bound to this scheduler's hardware."""
+        return TileCosts(workload, self.hardware, tiling)
+
+    def blocks(self, workload: AttentionWorkload, tiling: TilingConfig):
+        """Per-core block partition of the outer iteration space."""
+        return partition_blocks(workload, tiling, self.hardware.num_cores)
+
+    def simulate(
+        self, workload: AttentionWorkload, tiling: TilingConfig | None = None
+    ) -> SimulationResult:
+        """Build and simulate this dataflow, returning cycles/energy/traffic."""
+        if tiling is None:
+            tiling = self.default_tiling(workload)
+        tiling = tiling.clamp_to(workload)
+        build = self.build(workload, tiling)
+        metadata = dict(build.metadata)
+        metadata.setdefault("tiling", tiling.as_dict())
+        return simulate(
+            build.graph,
+            self.hardware,
+            scheduler=self.name,
+            workload_name=workload.name or workload.describe(),
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(hardware={self.hardware.name!r})"

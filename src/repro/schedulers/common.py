@@ -1,0 +1,205 @@
+"""Shared task-emission helpers for the baseline dataflow builders."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.costs import Block, TileCosts
+from repro.sim.tasks import Task, TaskGraph, TaskKind, dma_resource, mac_resource, vec_resource
+
+
+class CoreEmitter:
+    """Per-core helper that emits the common tile tasks of an attention dataflow.
+
+    It wraps a :class:`TaskGraph` and a :class:`TileCosts` and provides typed
+    ``load_* / matmul_* / softmax / store_*`` methods with consistent naming,
+    counters and the K/V residency caching implied by
+    ``TilingConfig.kv_resident``.
+    """
+
+    def __init__(self, graph: TaskGraph, costs: TileCosts, core: int, prefix: str) -> None:
+        self.graph = graph
+        self.costs = costs
+        self.core = core
+        self.prefix = prefix
+        self.mac = mac_resource(core)
+        self.vec = vec_resource(core)
+        self.dma = dma_resource()
+        self._group_kv_loads: dict[tuple[str, int], list[Task]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _name(self, stem: str, block: Block) -> str:
+        return f"{self.prefix}.c{self.core}.{stem}.{block.label()}"
+
+    def _add(self, name: str, kind: TaskKind, resource: str, cost, deps, **tags) -> Task:
+        return self.graph.add(
+            name,
+            kind,
+            resource,
+            cost.cycles,
+            deps=deps,
+            tags={"core": self.core, **tags},
+            **cost.counters,
+        )
+
+    # ------------------------------------------------------------------ #
+    # DMA
+    # ------------------------------------------------------------------ #
+    def load_q(self, block: Block, deps: Sequence[Task] = ()) -> Task:
+        return self._add(
+            self._name("load_Q", block),
+            TaskKind.LOAD,
+            self.dma,
+            self.costs.load_q(block),
+            deps,
+            operand="Q",
+            block=block.index,
+        )
+
+    def kv_loads(self, block: Block, which: str, deps: Sequence[Task] = ()) -> list[Task]:
+        """Load all K or V tiles for ``block`` (cached per head group if resident)."""
+        key = (which, block.head_group)
+        if self.costs.tiling.kv_resident and key in self._group_kv_loads:
+            return self._group_kv_loads[key]
+        loads = [
+            self._add(
+                self._name(f"load_{which}{tile}", block),
+                TaskKind.LOAD,
+                self.dma,
+                self.costs.load_kv_tile(block, tile),
+                deps,
+                operand=which,
+                block=block.index,
+                tile=tile,
+            )
+            for tile in range(self.costs.num_kv_tiles)
+        ]
+        if self.costs.tiling.kv_resident:
+            self._group_kv_loads[key] = loads
+        return loads
+
+    def load_score(self, block: Block, label: str, deps: Sequence[Task] = ()) -> Task:
+        return self._add(
+            self._name(f"load_{label}", block),
+            TaskKind.LOAD,
+            self.dma,
+            self.costs.load_score(block),
+            deps,
+            operand=label,
+            block=block.index,
+        )
+
+    def store_score(self, block: Block, label: str, deps: Sequence[Task] = ()) -> Task:
+        return self._add(
+            self._name(f"store_{label}", block),
+            TaskKind.STORE,
+            self.dma,
+            self.costs.store_score(block),
+            deps,
+            operand=label,
+            block=block.index,
+        )
+
+    def store_score_tile(self, block: Block, tile: int, label: str, deps: Sequence[Task] = ()) -> Task:
+        return self._add(
+            self._name(f"store_{label}{tile}", block),
+            TaskKind.STORE,
+            self.dma,
+            self.costs.store_score_tile(block, tile),
+            deps,
+            operand=label,
+            block=block.index,
+            tile=tile,
+        )
+
+    def store_o(self, block: Block, deps: Sequence[Task] = ()) -> Task:
+        return self._add(
+            self._name("store_O", block),
+            TaskKind.STORE,
+            self.dma,
+            self.costs.store_o(block),
+            deps,
+            operand="O",
+            block=block.index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compute
+    # ------------------------------------------------------------------ #
+    def matmul_qk(self, block: Block, tile: int, deps: Sequence[Task]) -> Task:
+        return self._add(
+            self._name(f"QK{tile}", block),
+            TaskKind.MATMUL,
+            self.mac,
+            self.costs.qk_tile(block, tile),
+            deps,
+            op="QK",
+            block=block.index,
+            tile=tile,
+        )
+
+    def matmul_pv(self, block: Block, tile: int, deps: Sequence[Task]) -> Task:
+        return self._add(
+            self._name(f"PV{tile}", block),
+            TaskKind.MATMUL,
+            self.mac,
+            self.costs.pv_tile(block, tile),
+            deps,
+            op="PV",
+            block=block.index,
+            tile=tile,
+        )
+
+    def softmax(self, block: Block, deps: Sequence[Task]) -> Task:
+        return self._add(
+            self._name("SM", block),
+            TaskKind.SOFTMAX,
+            self.vec,
+            self.costs.softmax(block),
+            deps,
+            op="SM",
+            block=block.index,
+        )
+
+    def softmax_tile(self, block: Block, tile: int, deps: Sequence[Task]) -> Task:
+        return self._add(
+            self._name(f"SMU{tile}", block),
+            TaskKind.VECOP,
+            self.vec,
+            self.costs.softmax_tile(block, tile),
+            deps,
+            op="SMU",
+            block=block.index,
+            tile=tile,
+        )
+
+    def output_normalize(self, block: Block, deps: Sequence[Task]) -> Task:
+        return self._add(
+            self._name("NORM", block),
+            TaskKind.VECOP,
+            self.vec,
+            self.costs.output_normalize(block),
+            deps,
+            op="NORM",
+            block=block.index,
+        )
+
+
+def make_emitters(
+    graph: TaskGraph, costs: TileCosts, per_core_blocks: Sequence[Sequence[Block]], prefix: str
+) -> list[CoreEmitter]:
+    """One :class:`CoreEmitter` per core."""
+    return [CoreEmitter(graph, costs, core, prefix) for core in range(len(per_core_blocks))]
+
+
+def interleave_block_positions(per_core_blocks: Sequence[Sequence[Block]]) -> Iterable[tuple[int, Block]]:
+    """Yield (core, block) pairs interleaved across cores, position by position.
+
+    Emitting in this order keeps the shared DMA channel's program order fair
+    across cores instead of serializing one core's transfers behind another's.
+    """
+    max_len = max((len(blocks) for blocks in per_core_blocks), default=0)
+    for position in range(max_len):
+        for core, blocks in enumerate(per_core_blocks):
+            if position < len(blocks):
+                yield core, blocks[position]

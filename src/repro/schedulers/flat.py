@@ -1,0 +1,80 @@
+"""FLAT baseline: row-granularity fused attention with sequential execution.
+
+FLAT (Kao et al., 2023) loads a block of query rows on-chip, computes
+``C_i = Q_i K^T``, ``P_i = softmax(C_i)`` and ``O_i = P_i V`` entirely
+on-chip, and writes only ``O_i`` back to DRAM, eliminating the DRAM
+round-trips of the intermediate matrices.  The three operators of a block are
+however executed *sequentially* — the MAC unit idles while the VEC unit runs
+softmax and vice-versa — and only one block's buffers are live at a time, so
+blocks cannot overlap either.  This is the strongest published baseline and
+the paper's main comparison point.
+"""
+
+from __future__ import annotations
+
+from repro.core.tiling import TilingConfig, flat_footprint_bytes
+from repro.hardware.config import HardwareConfig
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.schedulers.common import interleave_block_positions, make_emitters
+from repro.sim.tasks import Task, TaskGraph
+from repro.utils.validation import require
+from repro.workloads.attention import AttentionWorkload
+
+
+class FLATScheduler(AttentionScheduler):
+    """Fused, on-chip, sequential attention dataflow (the FLAT baseline)."""
+
+    name = "flat"
+    display_name = "FLAT"
+    overlaps_compute = False
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        return flat_footprint_bytes(workload, tiling)
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        tiling = tiling.clamp_to(workload)
+        costs = self.costs(workload, tiling)
+        per_core = self.blocks(workload, tiling)
+        graph = TaskGraph(name=self.name)
+        emitters = make_emitters(graph, costs, per_core, self.name)
+
+        # FLAT keeps a single block in flight per core: the first MatMul of a
+        # block cannot start before the previous block's last PV MatMul has
+        # drained (its buffers are only then released).
+        last_pv_per_core: dict[int, Task] = {}
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            serial_dep = last_pv_per_core.get(core)
+            q_load = em.load_q(block)
+            k_loads = em.kv_loads(block, "K")
+            qk_tasks = []
+            for tile, k_load in enumerate(k_loads):
+                deps = [q_load, k_load]
+                if serial_dep is not None:
+                    deps.append(serial_dep)
+                qk_tasks.append(em.matmul_qk(block, tile, deps=deps))
+            sm = em.softmax(block, deps=qk_tasks)
+            v_loads = em.kv_loads(block, "V")
+            pv_tasks = [
+                em.matmul_pv(block, tile, deps=[sm, v_load])
+                for tile, v_load in enumerate(v_loads)
+            ]
+            em.store_o(block, deps=pv_tasks)
+            last_pv_per_core[core] = pv_tasks[-1]
+
+        return BuildResult(graph=graph, metadata={"fused": True, "sequential": True})
+
+
+def flat_max_seq_len(hardware: HardwareConfig, emb: int = 64, dtype_bytes: int = 2) -> int:
+    """Maximum sequence length FLAT can handle on ``hardware`` (Section 5.6).
+
+    FLAT runs sequentially and computes softmax in place, so only a single
+    score row must be resident at a time alongside minimal Q/O tiles.
+    """
+    require(emb > 0, "emb must be positive")
+    require(dtype_bytes > 0, "dtype_bytes must be positive")
+    reserved = 2 * emb * dtype_bytes  # one-row Q and O tiles
+    available = hardware.l1_bytes - reserved
+    if available <= 0:
+        return 0
+    return available // dtype_bytes

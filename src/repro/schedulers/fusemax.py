@@ -1,0 +1,148 @@
+"""FuseMax baseline, scaled down to the edge device.
+
+FuseMax (Nayak et al., 2024) decomposes attention into a sequence of extended
+einsum operators and runs them in a single pass with an *online* (running)
+softmax: for every key/value sub-tile ``j`` the MAC unit computes the score
+tile ``Q_i K_j^T``, the VEC unit folds it into the running maximum / running
+sum and rescales the output accumulator, and the MAC unit then accumulates
+``P_{i,j} V_j`` into ``O_i``.  All intermediate data stays on-chip and the MAC
+and VEC streams are pipelined across sub-tiles, so — unlike FLAT — MatMul and
+softmax work overlap.  The price of the online formulation is the per-tile
+correction work on the output accumulator (captured by
+:meth:`repro.core.costs.TileCosts.softmax_tile`) plus a final normalization
+epilogue, which is why MAS-Attention still comes out ahead on cycles in the
+paper while FuseMax is often more energy-frugal.
+
+As in the paper, FuseMax uses manually selected tiling sizes rather than the
+searched tilings (``searchable = False``); the scheduler still accepts any
+:class:`~repro.core.tiling.TilingConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.core.tiling import TilingConfig, operand_tile_bytes
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.schedulers.common import interleave_block_positions, make_emitters
+from repro.sim.tasks import Task, TaskGraph
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["FuseMaxScheduler"]
+
+
+class FuseMaxScheduler(AttentionScheduler):
+    """Single-pass online-softmax attention pipelined over key/value sub-tiles."""
+
+    name = "fusemax"
+    display_name = "FuseMax"
+    overlaps_compute = True
+    searchable = False
+
+    def default_tiling(self, workload: AttentionWorkload) -> TilingConfig:
+        """FuseMax's manually selected tiling (the paper tunes it by hand, not by search).
+
+        The single-pass formulation streams K/V exactly once per row-block, so
+        the key lever is making row-blocks as tall as the on-chip buffer
+        allows (fewer passes over K/V); the key/value sub-tile follows the MAC
+        array width.
+        """
+        nkv = min(workload.seq_kv, 4 * self.hardware.mac.cols)
+        nq = workload.seq_q
+        tiling = TilingConfig(bb=1, hh=1, nq=nq, nkv=nkv).clamp_to(workload)
+        while (
+            self.footprint_bytes(workload, tiling) > self.hardware.l1_bytes and tiling.nq > 1
+        ):
+            tiling = TilingConfig(
+                bb=tiling.bb,
+                hh=tiling.hh,
+                nq=max(1, tiling.nq // 2),
+                nkv=tiling.nkv,
+                kv_resident=tiling.kv_resident,
+            )
+        return tiling
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        """One Q tile, one K and one V sub-tile, two score sub-tiles and the O accumulator.
+
+        The online softmax never materializes a full ``nq x N_kv`` score block;
+        only the current score sub-tile (``nq x nkv``) and the one being folded
+        are resident, plus the running max/sum vectors (negligible) and the
+        output accumulator.
+        """
+        tiles = operand_tile_bytes(workload, tiling)
+        g = tiling.group_size
+        rows = min(tiling.nq, workload.seq_q)
+        kv = min(tiling.nkv, workload.seq_kv)
+        score_tile = g * rows * kv * workload.dtype_bytes
+        kv_bytes = (
+            tiles["k_full"] + tiles["v_full"] if tiling.kv_resident else tiles["k"] + tiles["v"]
+        )
+        return tiles["q"] + kv_bytes + tiles["o"] + 2 * score_tile
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        tiling = tiling.clamp_to(workload)
+        costs = self.costs(workload, tiling)
+        per_core = self.blocks(workload, tiling)
+        graph = TaskGraph(name=self.name)
+        emitters = make_emitters(graph, costs, per_core, self.name)
+
+        # Track, per core, the last PV accumulation of the previous block: the
+        # output accumulator is a single buffer, so block b+1's accumulation
+        # cannot start before block b's epilogue has drained.
+        last_epilogue: dict[int, Task] = {}
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            q_load = em.load_q(block)
+            k_loads = em.kv_loads(block, "K")
+            v_loads = em.kv_loads(block, "V")
+
+            # Ping-pong scheduling across key/value sub-tiles: in steady state
+            # the MAC unit issues ``QK_{j+1}`` followed by ``PV_j`` while the
+            # VEC unit folds score tile ``j+1`` into the running max/sum.  The
+            # MAC program order therefore interleaves ``QK`` one tile ahead of
+            # ``PV`` so a PV accumulation never blocks the next score tile.
+            updates: list[Task] = []
+            pv_tasks: list[Task] = []
+
+            def emit_qk(tile: int) -> Task:
+                deps: list[Task] = [q_load, k_loads[tile]]
+                if core in last_epilogue:
+                    deps.append(last_epilogue[core])
+                return em.matmul_qk(block, tile, deps=deps)
+
+            def emit_update(tile: int, qk: Task) -> Task:
+                # The online-softmax update folds score tile ``tile`` into the
+                # running max/sum and rescales the output accumulator; the
+                # running state makes consecutive updates a serial chain.
+                deps: list[Task] = [qk]
+                if updates:
+                    deps.append(updates[-1])
+                update = em.softmax_tile(block, tile, deps=deps)
+                updates.append(update)
+                return update
+
+            def emit_pv(tile: int) -> Task:
+                # The PV accumulation of tile ``tile`` consumes the rescaled
+                # accumulator, so it follows its own update and the previous
+                # accumulation (single accumulator buffer).
+                deps: list[Task] = [updates[tile], v_loads[tile]]
+                if pv_tasks:
+                    deps.append(pv_tasks[-1])
+                pv = em.matmul_pv(block, tile, deps=deps)
+                pv_tasks.append(pv)
+                return pv
+
+            num_tiles = costs.num_kv_tiles
+            emit_update(0, emit_qk(0))
+            for tile in range(1, num_tiles):
+                emit_update(tile, emit_qk(tile))
+                emit_pv(tile - 1)
+            emit_pv(num_tiles - 1)
+
+            epilogue = em.output_normalize(block, deps=[pv_tasks[-1]])
+            em.store_o(block, deps=[epilogue])
+            last_epilogue[core] = epilogue
+
+        return BuildResult(
+            graph=graph,
+            metadata={"online_softmax": True, "single_pass": True},
+        )

@@ -1,0 +1,78 @@
+"""Layer-Wise baseline: unfused, fully sequential attention execution.
+
+The Layer-Wise method (Section 5.1) computes ``C = QK^T`` entirely, writing
+the intermediate scores back to DRAM, then reloads ``C`` to apply softmax and
+writes ``P`` back to DRAM, and finally reloads ``P`` to compute ``O = PV``.
+The three stages are separated by barriers; nothing is fused, so the method is
+memory-bound on the DRAM round-trips of the ``N x N`` intermediate matrices.
+"""
+
+from __future__ import annotations
+
+from repro.core.tiling import TilingConfig, operand_tile_bytes
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.schedulers.common import interleave_block_positions, make_emitters
+from repro.sim.tasks import Task, TaskGraph
+from repro.workloads.attention import AttentionWorkload
+
+
+class LayerWiseScheduler(AttentionScheduler):
+    """Unfused baseline: MatMul -> (DRAM) -> softmax -> (DRAM) -> MatMul."""
+
+    name = "layerwise"
+    display_name = "Layer-Wise"
+    overlaps_compute = False
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        """Only one operand tile of each kind is resident; scores stream to DRAM."""
+        tiles = operand_tile_bytes(workload, tiling)
+        g = tiling.group_size
+        rows = min(tiling.nq, workload.seq_q)
+        kv = min(tiling.nkv, workload.seq_kv)
+        score_tile = g * rows * kv * workload.dtype_bytes
+        kv_bytes = (
+            tiles["k_full"] + tiles["v_full"] if tiling.kv_resident else tiles["k"] + tiles["v"]
+        )
+        return tiles["q"] + kv_bytes + tiles["o"] + 2 * score_tile
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        tiling = tiling.clamp_to(workload)
+        costs = self.costs(workload, tiling)
+        per_core = self.blocks(workload, tiling)
+        graph = TaskGraph(name=self.name)
+        emitters = make_emitters(graph, costs, per_core, self.name)
+
+        # ----------------------- stage 1: C = QK^T ----------------------- #
+        stage1_tasks: list[Task] = []
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            q_load = em.load_q(block)
+            k_loads = em.kv_loads(block, "K")
+            for tile, k_load in enumerate(k_loads):
+                mm = em.matmul_qk(block, tile, deps=[q_load, k_load])
+                store = em.store_score_tile(block, tile, "C", deps=[mm])
+                stage1_tasks.append(store)
+        barrier1 = graph.add_barrier("layerwise.barrier.stage1", deps=stage1_tasks)
+
+        # ----------------------- stage 2: P = softmax(C) ----------------- #
+        stage2_tasks: list[Task] = []
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            c_load = em.load_score(block, "C", deps=[barrier1])
+            sm = em.softmax(block, deps=[c_load])
+            store = em.store_score(block, "P", deps=[sm])
+            stage2_tasks.append(store)
+        barrier2 = graph.add_barrier("layerwise.barrier.stage2", deps=stage2_tasks)
+
+        # ----------------------- stage 3: O = PV -------------------------- #
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            p_load = em.load_score(block, "P", deps=[barrier2])
+            v_loads = em.kv_loads(block, "V", deps=[barrier2])
+            pv_tasks = [
+                em.matmul_pv(block, tile, deps=[p_load, v_load])
+                for tile, v_load in enumerate(v_loads)
+            ]
+            em.store_o(block, deps=pv_tasks)
+
+        return BuildResult(graph=graph, metadata={"stages": 3})

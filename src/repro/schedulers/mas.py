@@ -1,0 +1,62 @@
+"""MAS-Attention scheduler: the paper's contribution wrapped in the scheduler interface.
+
+The heavy lifting lives in :mod:`repro.core.mas_attention`; this class adapts
+it to the :class:`~repro.schedulers.base.AttentionScheduler` interface used by
+the search and analysis layers, and exposes the build metadata (overwrite
+events, footprint, serialized blocks) through ``BuildResult.metadata``.
+"""
+
+from __future__ import annotations
+
+from repro.core.mas_attention import build_mas_graph, mas_max_seq_len
+from repro.core.tiling import TilingConfig, mas_footprint_bytes
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["MASAttentionScheduler", "mas_max_seq_len"]
+
+
+class MASAttentionScheduler(AttentionScheduler):
+    """Semi-synchronous MAC/VEC stream-processing attention dataflow (MAS-Attention).
+
+    Parameters
+    ----------
+    hardware:
+        Target device.
+    enable_overwrite:
+        Whether the proactive buffer-overwrite strategy (Section 4.3) is
+        active.  Disabling it gives the ablation baseline in which an
+        overflowing round degrades to sequential execution.
+    """
+
+    name = "mas"
+    display_name = "MAS-Attention"
+    overlaps_compute = True
+
+    def __init__(self, hardware, enable_overwrite: bool = True) -> None:
+        super().__init__(hardware)
+        self.enable_overwrite = enable_overwrite
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        return mas_footprint_bytes(workload, tiling)
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        graph, info = build_mas_graph(
+            workload,
+            self.hardware,
+            tiling=tiling,
+            enable_overwrite=self.enable_overwrite,
+        )
+        return BuildResult(
+            graph=graph,
+            metadata={
+                "footprint_bytes": info.footprint_bytes,
+                "l1_bytes": info.l1_bytes,
+                "overwrite_enabled": info.overwrite_enabled,
+                "num_overwrites": info.num_overwrites,
+                "extra_dram_bytes": info.extra_dram_bytes,
+                "serialized_blocks": info.serialized_blocks,
+                "blocks_per_core": info.blocks_per_core,
+                "overflowed": info.overflowed,
+            },
+        )

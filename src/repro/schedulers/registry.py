@@ -1,0 +1,60 @@
+"""Scheduler registry: look up dataflows by name.
+
+The experiment harnesses, the CLI and the benchmarks all refer to dataflows by
+their short names (``"layerwise"``, ``"softpipe"``, ``"flat"``, ``"tileflow"``,
+``"fusemax"``, ``"mas"``); this module keeps the single authoritative mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.hardware.config import HardwareConfig
+from repro.schedulers.base import AttentionScheduler
+from repro.schedulers.flat import FLATScheduler
+from repro.schedulers.fusemax import FuseMaxScheduler
+from repro.schedulers.layerwise import LayerWiseScheduler
+from repro.schedulers.mas import MASAttentionScheduler
+from repro.schedulers.softpipe import SoftPipeScheduler
+from repro.schedulers.tileflow import TileFlowScheduler
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "BASELINE_SCHEDULERS",
+    "get_scheduler",
+    "list_schedulers",
+    "make_scheduler",
+]
+
+#: All dataflows in the order the paper's tables report them.
+ALL_SCHEDULERS: dict[str, Type[AttentionScheduler]] = {
+    LayerWiseScheduler.name: LayerWiseScheduler,
+    SoftPipeScheduler.name: SoftPipeScheduler,
+    FLATScheduler.name: FLATScheduler,
+    TileFlowScheduler.name: TileFlowScheduler,
+    FuseMaxScheduler.name: FuseMaxScheduler,
+    MASAttentionScheduler.name: MASAttentionScheduler,
+}
+
+#: The baselines MAS-Attention is compared against.
+BASELINE_SCHEDULERS: dict[str, Type[AttentionScheduler]] = {
+    name: cls for name, cls in ALL_SCHEDULERS.items() if name != MASAttentionScheduler.name
+}
+
+
+def list_schedulers() -> list[str]:
+    """Short names of all registered dataflows, in report order."""
+    return list(ALL_SCHEDULERS)
+
+
+def get_scheduler(name: str) -> Type[AttentionScheduler]:
+    """Scheduler class registered under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key not in ALL_SCHEDULERS:
+        raise KeyError(f"unknown scheduler {name!r}; available: {list_schedulers()}")
+    return ALL_SCHEDULERS[key]
+
+
+def make_scheduler(name: str, hardware: HardwareConfig, **kwargs) -> AttentionScheduler:
+    """Instantiate the scheduler registered under ``name`` for ``hardware``."""
+    return get_scheduler(name)(hardware, **kwargs)

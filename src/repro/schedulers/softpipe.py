@@ -1,0 +1,65 @@
+"""Soft-Pipe baseline: pipelines the first MatMul with softmax only.
+
+Soft-Pipe (Section 5.1) fuses ``C_i = Q_i K^T`` with ``P_i = softmax(C_i)``
+and pipelines them across row-blocks (the MAC computes ``C_{i+1}`` while the
+VEC computes ``P_i``), but the resulting ``P`` matrix is written back to DRAM
+and the final ``O = PV`` MatMul runs as a separate, sequential pass that
+reloads ``P``.
+"""
+
+from __future__ import annotations
+
+from repro.core.tiling import TilingConfig, operand_tile_bytes, score_block_bytes
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.schedulers.common import interleave_block_positions, make_emitters
+from repro.sim.tasks import Task, TaskGraph
+from repro.workloads.attention import AttentionWorkload
+
+
+class SoftPipeScheduler(AttentionScheduler):
+    """Pipelined QK^T + softmax, sequential PV with a DRAM round-trip for P."""
+
+    name = "softpipe"
+    display_name = "Soft-Pipe"
+    overlaps_compute = True
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        """Two score blocks are in flight (C_{i+1} being produced, P_i in softmax)."""
+        tiles = operand_tile_bytes(workload, tiling)
+        kv_bytes = tiles["k_full"] if tiling.kv_resident else tiles["k"]
+        return 2 * tiles["q"] + kv_bytes + 2 * score_block_bytes(workload, tiling)
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        tiling = tiling.clamp_to(workload)
+        costs = self.costs(workload, tiling)
+        per_core = self.blocks(workload, tiling)
+        graph = TaskGraph(name=self.name)
+        emitters = make_emitters(graph, costs, per_core, self.name)
+
+        # ------------- fused stage A: C_i = Q_i K^T, P_i = softmax(C_i) --- #
+        stage_a_tasks: list[Task] = []
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            q_load = em.load_q(block)
+            k_loads = em.kv_loads(block, "K")
+            qk_tasks = [
+                em.matmul_qk(block, tile, deps=[q_load, k_load])
+                for tile, k_load in enumerate(k_loads)
+            ]
+            sm = em.softmax(block, deps=qk_tasks)
+            store = em.store_score(block, "P", deps=[sm])
+            stage_a_tasks.append(store)
+        barrier = graph.add_barrier("softpipe.barrier.stageA", deps=stage_a_tasks)
+
+        # ------------- sequential stage B: O = PV -------------------------- #
+        for core, block in interleave_block_positions(per_core):
+            em = emitters[core]
+            p_load = em.load_score(block, "P", deps=[barrier])
+            v_loads = em.kv_loads(block, "V", deps=[barrier])
+            pv_tasks = [
+                em.matmul_pv(block, tile, deps=[p_load, v_load])
+                for tile, v_load in enumerate(v_loads)
+            ]
+            em.store_o(block, deps=pv_tasks)
+
+        return BuildResult(graph=graph, metadata={"stages": 2})

@@ -1,0 +1,181 @@
+"""TileFlow baseline: fused attention with tree-based, synchronous pipelining.
+
+TileFlow (Zheng et al., 2023) models fusion dataflows as an analysis tree and
+pipelines the fused operators.  The original paper does not publish enough
+implementation detail for an exact port, so — like the MAS-Attention authors —
+we reproduce its *intended operational characteristics*: all three attention
+operators are fused on-chip (no DRAM round-trips for ``C``/``P``), the tiled
+operators are pipelined across row-blocks on the MAC and VEC units, but the
+pipeline is **synchronous**: each pipeline round is closed by a barrier, so a
+round only starts once every operator of the previous round has drained.  This
+is the key difference from MAS-Attention's *semi-synchronous* stream
+processing, which lets tiles slide across round boundaries as soon as their
+own data dependencies are met and which adds the proactive overwrite strategy
+for overflowing rounds.
+"""
+
+from __future__ import annotations
+
+from repro.core.stream import OpKind, plan_rounds
+from repro.core.tiling import TilingConfig, mas_footprint_bytes
+from repro.schedulers.base import AttentionScheduler, BuildResult
+from repro.sim.tasks import Task, TaskGraph, TaskKind, dma_resource, mac_resource, vec_resource
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["TileFlowScheduler"]
+
+
+class TileFlowScheduler(AttentionScheduler):
+    """Fused, pipelined attention with per-round synchronization barriers."""
+
+    name = "tileflow"
+    display_name = "TileFlow"
+    overlaps_compute = True
+
+    def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
+        """Two row-blocks are in flight per round, as in the MAS pipeline."""
+        return mas_footprint_bytes(workload, tiling)
+
+    def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
+        tiling = tiling.clamp_to(workload)
+        costs = self.costs(workload, tiling)
+        per_core = self.blocks(workload, tiling)
+        graph = TaskGraph(name=self.name)
+
+        num_rounds = 0
+        core_states: list[dict[str, object]] = []
+        for core, blocks in enumerate(per_core):
+            state = {
+                "core": core,
+                "blocks": blocks,
+                "rounds": plan_rounds(len(blocks)) if blocks else [],
+                "qk": {},       # block ordinal -> list[Task]
+                "softmax": {},  # block ordinal -> Task
+                "pv": {},       # block ordinal -> list[Task]
+                "k_loads": {},  # head group -> list[Task]
+                "v_loads": {},  # head group -> list[Task]
+            }
+            core_states.append(state)
+            num_rounds = max(num_rounds, len(state["rounds"]))
+
+        barrier: Task | None = None
+        for round_index in range(num_rounds):
+            round_tasks: list[Task] = []
+            for state in core_states:
+                rounds = state["rounds"]
+                if round_index >= len(rounds):
+                    continue
+                round_tasks.extend(
+                    self._emit_round(graph, costs, state, rounds[round_index], barrier)
+                )
+            if round_tasks:
+                barrier = graph.add_barrier(f"tileflow.round{round_index}.barrier", deps=round_tasks)
+
+        return BuildResult(graph=graph, metadata={"fused": True, "synchronous_rounds": True})
+
+    # ------------------------------------------------------------------ #
+    # Internal emission helpers
+    # ------------------------------------------------------------------ #
+    def _kv_loads(self, graph, costs, state, block, which: str, barrier) -> list[Task]:
+        cache = state["k_loads"] if which == "K" else state["v_loads"]
+        if costs.tiling.kv_resident and block.head_group in cache:
+            return cache[block.head_group]
+        core = state["core"]
+        deps = [barrier] if barrier is not None else []
+        loads = [
+            graph.add(
+                f"tileflow.c{core}.load_{which}{tile}.{block.label()}",
+                TaskKind.LOAD,
+                dma_resource(),
+                costs.load_kv_tile(block, tile).cycles,
+                deps=deps,
+                tags={"core": core, "operand": which, "block": block.index},
+                **costs.load_kv_tile(block, tile).counters,
+            )
+            for tile in range(costs.num_kv_tiles)
+        ]
+        if costs.tiling.kv_resident:
+            cache[block.head_group] = loads
+        return loads
+
+    def _emit_round(self, graph, costs, state, stream_round, barrier) -> list[Task]:
+        """Emit all MAC and VEC ops of one synchronous round for one core."""
+        core = state["core"]
+        blocks = state["blocks"]
+        emitted: list[Task] = []
+        base_deps = [barrier] if barrier is not None else []
+
+        for op in stream_round.vec_ops + stream_round.mac_ops:
+            b = op.block - 1  # StreamOp block indices are 1-based
+            block = blocks[b]
+            if op.kind is OpKind.QK:
+                cost_q = costs.load_q(block)
+                q_load = graph.add(
+                    f"tileflow.c{core}.load_Q.{block.label()}",
+                    TaskKind.LOAD,
+                    dma_resource(),
+                    cost_q.cycles,
+                    deps=base_deps,
+                    tags={"core": core, "operand": "Q", "block": b},
+                    **cost_q.counters,
+                )
+                k_loads = self._kv_loads(graph, costs, state, block, "K", barrier)
+                qk_tasks = []
+                for tile, k_load in enumerate(k_loads):
+                    cost = costs.qk_tile(block, tile)
+                    qk_tasks.append(
+                        graph.add(
+                            f"tileflow.c{core}.QK{tile}.{block.label()}",
+                            TaskKind.MATMUL,
+                            mac_resource(core),
+                            cost.cycles,
+                            deps=[q_load, k_load] + base_deps,
+                            tags={"core": core, "op": "QK", "block": b, "tile": tile},
+                            **cost.counters,
+                        )
+                    )
+                state["qk"][b] = qk_tasks
+                emitted.extend(qk_tasks)
+            elif op.kind is OpKind.SOFTMAX:
+                cost = costs.softmax(block)
+                sm = graph.add(
+                    f"tileflow.c{core}.SM.{block.label()}",
+                    TaskKind.SOFTMAX,
+                    vec_resource(core),
+                    cost.cycles,
+                    deps=list(state["qk"][b]) + base_deps,
+                    tags={"core": core, "op": "SM", "block": b},
+                    **cost.counters,
+                )
+                state["softmax"][b] = sm
+                emitted.append(sm)
+            elif op.kind is OpKind.PV:
+                v_loads = self._kv_loads(graph, costs, state, block, "V", barrier)
+                pv_tasks = []
+                for tile, v_load in enumerate(v_loads):
+                    cost = costs.pv_tile(block, tile)
+                    pv_tasks.append(
+                        graph.add(
+                            f"tileflow.c{core}.PV{tile}.{block.label()}",
+                            TaskKind.MATMUL,
+                            mac_resource(core),
+                            cost.cycles,
+                            deps=[state["softmax"][b], v_load] + base_deps,
+                            tags={"core": core, "op": "PV", "block": b, "tile": tile},
+                            **cost.counters,
+                        )
+                    )
+                state["pv"][b] = pv_tasks
+                cost_o = costs.store_o(block)
+                store = graph.add(
+                    f"tileflow.c{core}.store_O.{block.label()}",
+                    TaskKind.STORE,
+                    dma_resource(),
+                    cost_o.cycles,
+                    deps=pv_tasks,
+                    tags={"core": core, "operand": "O", "block": b},
+                    **cost_o.counters,
+                )
+                emitted.extend(pv_tasks)
+                emitted.append(store)
+        return emitted

@@ -1,0 +1,134 @@
+"""Candidate evaluation for the tiling search.
+
+Every candidate tiling is evaluated by building the scheduler's task graph and
+running the analytical simulator — the same "evaluate with Timeloop/Accelergy
+and feed the result back to the search" loop the paper describes.  Candidates
+whose on-chip footprint cannot run at all (even the non-evictable residency
+exceeds L1) are reported as infeasible and receive an infinite objective so
+the searchers steer away from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.overwrite import InfeasibleTilingError
+from repro.core.tiling import TilingConfig
+from repro.schedulers.base import AttentionScheduler
+from repro.sim.trace import SimulationResult
+from repro.utils.validation import require
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["TilingEvaluation", "SchedulerObjective"]
+
+Metric = Literal["cycles", "energy", "edp"]
+
+
+@dataclass(frozen=True)
+class TilingEvaluation:
+    """Outcome of evaluating one tiling candidate."""
+
+    tiling: TilingConfig
+    feasible: bool
+    cycles: int
+    energy_pj: float
+    value: float
+    result: SimulationResult | None = None
+
+    def better_than(self, other: "TilingEvaluation | None") -> bool:
+        """Whether this evaluation improves on ``other`` (``None`` counts as worse)."""
+        if other is None:
+            return True
+        return self.value < other.value
+
+
+class SchedulerObjective:
+    """Callable objective: tiling -> simulated cost for one scheduler/workload pair.
+
+    Parameters
+    ----------
+    scheduler:
+        The dataflow being tuned.
+    workload:
+        The attention shape being tuned for.
+    metric:
+        ``"cycles"`` (the paper's objective), ``"energy"`` or ``"edp"``
+        (energy-delay product).
+    allow_overflow:
+        If false, tilings whose scheduler footprint exceeds L1 are marked
+        infeasible outright.  MAS-Attention sets this to true because the
+        proactive overwrite strategy handles the overflow (at extra DRAM
+        cost); the baselines keep the strict check.
+    """
+
+    def __init__(
+        self,
+        scheduler: AttentionScheduler,
+        workload: AttentionWorkload,
+        metric: Metric = "cycles",
+        allow_overflow: bool | None = None,
+    ) -> None:
+        require(metric in ("cycles", "energy", "edp"), f"unknown metric {metric!r}")
+        self.scheduler = scheduler
+        self.workload = workload
+        self.metric = metric
+        if allow_overflow is None:
+            allow_overflow = scheduler.name == "mas"
+        self.allow_overflow = allow_overflow
+        self._cache: dict[tuple, TilingEvaluation] = {}
+        self.num_evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    def _key(self, tiling: TilingConfig) -> tuple:
+        return (tiling.bb, tiling.hh, tiling.nq, tiling.nkv, tiling.kv_resident)
+
+    def _value(self, result: SimulationResult) -> float:
+        if self.metric == "cycles":
+            return float(result.cycles)
+        if self.metric == "energy":
+            return float(result.energy_pj)
+        return float(result.cycles) * float(result.energy_pj)
+
+    def evaluate(self, tiling: TilingConfig) -> TilingEvaluation:
+        """Evaluate one candidate (memoized on the tiling factors)."""
+        tiling = tiling.clamp_to(self.workload)
+        key = self._key(tiling)
+        if key in self._cache:
+            return self._cache[key]
+
+        feasible = True
+        if not self.allow_overflow and not self.scheduler.fits(self.workload, tiling):
+            evaluation = TilingEvaluation(
+                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
+            )
+            self._cache[key] = evaluation
+            return evaluation
+
+        try:
+            result = self.scheduler.simulate(self.workload, tiling)
+        except InfeasibleTilingError:
+            evaluation = TilingEvaluation(
+                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
+            )
+            self._cache[key] = evaluation
+            return evaluation
+
+        self.num_evaluations += 1
+        evaluation = TilingEvaluation(
+            tiling=tiling,
+            feasible=feasible,
+            cycles=result.cycles,
+            energy_pj=result.energy_pj,
+            value=self._value(result),
+            result=result,
+        )
+        self._cache[key] = evaluation
+        return evaluation
+
+    __call__ = evaluate
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct tilings evaluated so far."""
+        return len(self._cache)

@@ -1,0 +1,165 @@
+"""Dependency- and resource-aware scheduling engine.
+
+The engine computes, for every task of a :class:`~repro.sim.tasks.TaskGraph`,
+its start and finish cycle under the constraints:
+
+1. a task starts no earlier than the finish of all its data dependencies;
+2. every resource executes one task at a time (non-preemptive, single server);
+3. **compute units** (MAC, VEC) issue their tasks strictly in program order —
+   the order the scheduler emitted them — modelling the in-order instruction
+   streams of the accelerator's engines;
+4. the **DMA channel** services whichever enqueued descriptor is ready first:
+   a store whose producing compute has not finished never blocks an
+   independent load that was enqueued later.  Ties are broken by program
+   order, so the behaviour is deterministic.
+
+The schedule is produced by an event-driven list scheduler: at every step the
+earliest-startable candidate across all resources is dispatched.  Candidates
+are the head of the program-order queue for in-order resources and the
+earliest-ready enqueued task for out-of-order resources; zero-cost barrier
+tasks (no resource) complete as soon as their dependencies do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.sim.tasks import TaskGraph
+from repro.sim.trace import TaskRecord, Trace
+
+__all__ = ["simulate_graph", "critical_path_cycles", "OUT_OF_ORDER_RESOURCES"]
+
+#: Resource names served out of order (readiness order) rather than program order.
+OUT_OF_ORDER_RESOURCES: tuple[str, ...] = ("dma",)
+
+
+def simulate_graph(
+    graph: TaskGraph, out_of_order_resources: tuple[str, ...] = OUT_OF_ORDER_RESOURCES
+) -> Trace:
+    """Schedule ``graph`` and return the resulting :class:`Trace`."""
+    graph.validate()
+    n = len(graph)
+    if n == 0:
+        return Trace(records=[])
+
+    ooo = set(out_of_order_resources)
+    remaining_deps = [len(set(t.deps)) for t in graph]
+    ready_time = [0] * n          # max finish over resolved deps
+    finish = [0] * n
+    start = [0] * n
+    scheduled = [False] * n
+    dependents: list[list[int]] = [[] for _ in range(n)]
+    for task in graph:
+        for dep in set(task.deps):
+            dependents[dep].append(task.tid)
+
+    # Per-resource issue structures.
+    inorder_queue: dict[str, deque[int]] = {}
+    ooo_ready: dict[str, list[tuple[int, int]]] = {}  # heap of (ready_time, tid)
+    resource_free: dict[str, int] = {}
+    for task in graph:
+        res = task.resource
+        if not res:
+            continue
+        resource_free.setdefault(res, 0)
+        if res in ooo:
+            ooo_ready.setdefault(res, [])
+        else:
+            inorder_queue.setdefault(res, deque()).append(task.tid)
+
+    # Barrier (resource-less) tasks and newly dependency-free tasks are
+    # resolved eagerly; compute/DMA tasks wait for dispatch.
+    zero_dep_ready: deque[int] = deque(t.tid for t in graph if remaining_deps[t.tid] == 0)
+    done_count = [0]  # mutable so the nested helpers can update it
+
+    def resolve(tid: int) -> None:
+        """Mark ``tid`` as dependency-free: barriers complete, DMA tasks become issuable."""
+        task = graph[tid]
+        if not task.resource:
+            # Zero-cost barrier: completes at its ready time.
+            start[tid] = ready_time[tid]
+            finish[tid] = ready_time[tid] + task.cycles
+            scheduled[tid] = True
+            done_count[0] += 1
+            propagate(tid)
+        elif task.resource in ooo:
+            heapq.heappush(ooo_ready[task.resource], (ready_time[tid], tid))
+        # In-order tasks stay in their program-order queue; readiness is
+        # checked when they reach the queue head.
+
+    def propagate(tid: int) -> None:
+        """Update dependents after ``tid`` finished (or was resolved as a barrier)."""
+        for dep_tid in dependents[tid]:
+            ready_time[dep_tid] = max(ready_time[dep_tid], finish[tid])
+            remaining_deps[dep_tid] -= 1
+            if remaining_deps[dep_tid] == 0:
+                resolve(dep_tid)
+
+    while zero_dep_ready:
+        resolve(zero_dep_ready.popleft())
+
+    while done_count[0] < n:
+        # Gather one candidate per resource and dispatch the earliest-startable.
+        best: tuple[int, int, str] | None = None  # (start, tid, resource)
+        for res, queue in inorder_queue.items():
+            while queue and scheduled[queue[0]]:
+                queue.popleft()
+            if not queue:
+                continue
+            tid = queue[0]
+            if remaining_deps[tid] > 0:
+                continue
+            candidate_start = max(ready_time[tid], resource_free[res])
+            if best is None or (candidate_start, tid) < (best[0], best[1]):
+                best = (candidate_start, tid, res)
+        for res, heap in ooo_ready.items():
+            while heap and scheduled[heap[0][1]]:
+                heapq.heappop(heap)
+            if not heap:
+                continue
+            task_ready, tid = heap[0]
+            candidate_start = max(task_ready, resource_free[res])
+            if best is None or (candidate_start, tid) < (best[0], best[1]):
+                best = (candidate_start, tid, res)
+
+        if best is None:
+            unscheduled = [t.name for t in graph if not scheduled[t.tid]][:5]
+            raise RuntimeError(
+                "scheduling deadlock: no issuable task among "
+                f"{n - done_count[0]} unscheduled (first: {unscheduled})"
+            )
+
+        task_start, tid, res = best
+        task = graph[tid]
+        start[tid] = task_start
+        finish[tid] = task_start + task.cycles
+        resource_free[res] = finish[tid]
+        scheduled[tid] = True
+        done_count[0] += 1
+        if res in ooo:
+            # The dispatched task is the heap head by construction (stale
+            # entries were popped during candidate gathering).
+            if ooo_ready[res] and ooo_ready[res][0][1] == tid:
+                heapq.heappop(ooo_ready[res])
+        else:
+            if inorder_queue[res] and inorder_queue[res][0] == tid:
+                inorder_queue[res].popleft()
+        propagate(tid)
+
+    records = [TaskRecord(task=task, start=start[task.tid], finish=finish[task.tid]) for task in graph]
+    return Trace(records=records)
+
+
+def critical_path_cycles(graph: TaskGraph) -> int:
+    """Length of the pure data-dependency critical path, ignoring resource contention.
+
+    Useful as an idealized lower bound: a schedule can never beat the critical
+    path even with infinitely many compute units.
+    """
+    graph.validate()
+    finish: list[int] = [0] * len(graph)
+    for task in graph:
+        ready = max((finish[d] for d in task.deps), default=0)
+        finish[task.tid] = ready + task.cycles
+    return max(finish, default=0)

@@ -1,0 +1,172 @@
+"""Simulation trace and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.energy import AccessCounters, EnergyBreakdown
+from repro.sim.tasks import Task, TaskKind
+from repro.utils.units import cycles_to_seconds
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Scheduled timing of one task."""
+
+    task: Task
+    start: int
+    finish: int
+
+    @property
+    def duration(self) -> int:
+        return self.finish - self.start
+
+
+@dataclass
+class Trace:
+    """Full schedule produced by the simulator."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Makespan of the schedule in cycles."""
+        return max((r.finish for r in self.records), default=0)
+
+    def records_on(self, resource: str) -> list[TaskRecord]:
+        """Records of tasks bound to ``resource``, ordered by start time."""
+        return sorted(
+            (r for r in self.records if r.task.resource == resource), key=lambda r: r.start
+        )
+
+    def busy_cycles(self, resource: str) -> int:
+        """Total occupied cycles of ``resource``."""
+        return sum(r.duration for r in self.records if r.task.resource == resource)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of ``resource`` over the makespan (0 if the trace is empty)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.busy_cycles(resource) / total
+
+    def resources(self) -> list[str]:
+        """Distinct non-empty resources appearing in the trace."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            if r.task.resource and r.task.resource not in seen:
+                seen[r.task.resource] = None
+        return list(seen)
+
+    def counters(self) -> AccessCounters:
+        """Aggregate access/operation counters over the whole trace."""
+        acc = AccessCounters(total_cycles=self.total_cycles)
+        for record in self.records:
+            t = record.task
+            acc.dram_bytes_read += t.dram_bytes_read
+            acc.dram_bytes_written += t.dram_bytes_written
+            acc.l1_bytes_read += t.l1_bytes_read
+            acc.l1_bytes_written += t.l1_bytes_written
+            acc.l0_bytes_read += t.l0_bytes_read
+            acc.l0_bytes_written += t.l0_bytes_written
+            acc.mac_ops += t.mac_ops
+            acc.vec_ops += t.vec_ops
+        return acc
+
+    def count_kind(self, kind: TaskKind) -> int:
+        """Number of tasks of ``kind`` in the trace."""
+        return sum(1 for r in self.records if r.task.kind == kind)
+
+    def overlap_cycles(self, resource_a: str, resource_b: str) -> int:
+        """Cycles during which both resources are simultaneously busy.
+
+        Used to verify that MAS-Attention actually overlaps MAC and VEC work
+        while FLAT does not.
+        """
+        intervals_a = [(r.start, r.finish) for r in self.records_on(resource_a) if r.duration > 0]
+        intervals_b = [(r.start, r.finish) for r in self.records_on(resource_b) if r.duration > 0]
+        overlap = 0
+        i = j = 0
+        while i < len(intervals_a) and j < len(intervals_b):
+            a_start, a_end = intervals_a[i]
+            b_start, b_end = intervals_b[j]
+            overlap += max(0, min(a_end, b_end) - max(a_start, b_start))
+            if a_end <= b_end:
+                i += 1
+            else:
+                j += 1
+        return overlap
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one dataflow on one workload and device."""
+
+    scheduler: str
+    workload_name: str
+    hardware_name: str
+    trace: Trace
+    counters: AccessCounters
+    energy: EnergyBreakdown
+    frequency_hz: float
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Total execution cycles (makespan)."""
+        return self.counters.total_cycles
+
+    @property
+    def latency_seconds(self) -> float:
+        """Wall-clock latency in seconds at the device clock."""
+        return cycles_to_seconds(self.cycles, self.frequency_hz)
+
+    @property
+    def energy_pj(self) -> float:
+        """Total energy in picojoules."""
+        return self.energy.total_pj
+
+    @property
+    def dram_reads(self) -> int:
+        return self.counters.dram_bytes_read
+
+    @property
+    def dram_writes(self) -> int:
+        return self.counters.dram_bytes_written
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary summary used by reports and benches."""
+        return {
+            "scheduler": self.scheduler,
+            "workload": self.workload_name,
+            "hardware": self.hardware_name,
+            "cycles": self.cycles,
+            "latency_ms": self.latency_seconds * 1e3,
+            "energy_pj": self.energy_pj,
+            "dram_bytes_read": self.dram_reads,
+            "dram_bytes_written": self.dram_writes,
+            "mac_ops": self.counters.mac_ops,
+            "vec_ops": self.counters.vec_ops,
+        }
+
+
+def make_result(
+    scheduler: str,
+    workload_name: str,
+    hardware: HardwareConfig,
+    trace: Trace,
+    energy: EnergyBreakdown,
+    metadata: dict[str, object] | None = None,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a trace and its energy breakdown."""
+    return SimulationResult(
+        scheduler=scheduler,
+        workload_name=workload_name,
+        hardware_name=hardware.name,
+        trace=trace,
+        counters=trace.counters(),
+        energy=energy,
+        frequency_hz=hardware.frequency_hz,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,37 @@
+"""Shared utilities: unit helpers, validation, deterministic RNG and serialization."""
+
+from repro.utils.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    bytes_to_human,
+    cycles_to_seconds,
+    picojoules_to_millijoules,
+)
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    ceil_div,
+    require,
+)
+from repro.utils.rng import make_rng
+from repro.utils.serialization import to_jsonable, dump_json, load_json
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "KB",
+    "MB",
+    "bytes_to_human",
+    "cycles_to_seconds",
+    "picojoules_to_millijoules",
+    "check_positive_int",
+    "check_probability",
+    "ceil_div",
+    "require",
+    "make_rng",
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+]

@@ -1,0 +1,45 @@
+"""JSON serialization helpers for configs, traces and experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses, enums and numpy scalars to JSON types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialize ``obj`` to JSON at ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,28 @@
+"""Attention workload definitions: generic shapes, the Table-1 network registry
+and the Stable Diffusion 1.5 reduced-UNet end-to-end workload (Section 5.2.2)."""
+
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.networks import (
+    NETWORKS,
+    NetworkConfig,
+    get_network,
+    list_networks,
+    table1_rows,
+)
+from repro.workloads.stable_diffusion import (
+    AttentionUnit,
+    StableDiffusionUNetWorkload,
+    sd15_reduced_unet,
+)
+
+__all__ = [
+    "AttentionWorkload",
+    "NETWORKS",
+    "NetworkConfig",
+    "get_network",
+    "list_networks",
+    "table1_rows",
+    "AttentionUnit",
+    "StableDiffusionUNetWorkload",
+    "sd15_reduced_unet",
+]

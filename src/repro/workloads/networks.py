@@ -1,0 +1,93 @@
+"""The Table-1 network registry.
+
+Table 1 of the paper lists the attention-layer hyper-parameters of the
+transformer networks used throughout the evaluation.  ``EmbK,V`` is the
+per-head embedding (head dimension); the hidden size is ``heads * emb`` except
+for the ViT variants where the patch embedding differs slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+from repro.workloads.attention import AttentionWorkload
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One row of Table 1: the attention-layer shape of a network."""
+
+    name: str
+    heads: int
+    seq: int
+    hidden: int
+    emb: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.heads, "heads")
+        check_positive_int(self.seq, "seq")
+        check_positive_int(self.hidden, "hidden")
+        check_positive_int(self.emb, "emb")
+
+    def workload(self, batch: int = 1, dtype_bytes: int = 2) -> AttentionWorkload:
+        """Instantiate the attention workload for this network."""
+        return AttentionWorkload.self_attention(
+            heads=self.heads,
+            seq=self.seq,
+            emb=self.emb,
+            batch=batch,
+            dtype_bytes=dtype_bytes,
+            name=self.name,
+        )
+
+
+# Table 1: Network Configuration and Hyper-Parameters.
+_TABLE1: tuple[NetworkConfig, ...] = (
+    NetworkConfig("BERT-Base & T5-Base", heads=12, seq=512, hidden=768, emb=64),
+    NetworkConfig("BERT-Large & T5-Large", heads=16, seq=512, hidden=1024, emb=64),
+    NetworkConfig("BERT-Small", heads=8, seq=512, hidden=512, emb=64),
+    NetworkConfig("Llama3-8B & T5-3B (T5-XL)", heads=32, seq=512, hidden=4096, emb=128),
+    NetworkConfig("T5-Mini & T5-Small", heads=8, seq=512, hidden=256, emb=32),
+    NetworkConfig("ViT-B/14", heads=12, seq=196, hidden=768, emb=64),
+    NetworkConfig("ViT-L/14", heads=16, seq=196, hidden=1024, emb=64),
+    NetworkConfig("ViT-H/14", heads=16, seq=196, hidden=1280, emb=80),
+    NetworkConfig("ViT-B/16", heads=12, seq=256, hidden=768, emb=64),
+    NetworkConfig("ViT-L/16", heads=16, seq=256, hidden=1024, emb=64),
+    NetworkConfig("ViT-H/16", heads=16, seq=256, hidden=1280, emb=80),
+    NetworkConfig("XLM", heads=8, seq=512, hidden=1024, emb=128),
+)
+
+NETWORKS: dict[str, NetworkConfig] = {cfg.name: cfg for cfg in _TABLE1}
+
+
+def list_networks() -> list[str]:
+    """Names of all Table-1 networks in paper order."""
+    return [cfg.name for cfg in _TABLE1]
+
+
+def get_network(name: str) -> NetworkConfig:
+    """Look up a Table-1 network by exact or case-insensitive prefix match."""
+    if name in NETWORKS:
+        return NETWORKS[name]
+    lowered = name.lower()
+    matches = [cfg for cfg in _TABLE1 if cfg.name.lower().startswith(lowered)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"unknown network {name!r}; available: {list_networks()}")
+    raise KeyError(f"ambiguous network name {name!r}; matches: {[m.name for m in matches]}")
+
+
+def table1_rows() -> list[dict[str, int | str]]:
+    """Table 1 as a list of dict rows (for reports and the CLI)."""
+    return [
+        {
+            "network": cfg.name,
+            "heads": cfg.heads,
+            "seq": cfg.seq,
+            "hidden": cfg.hidden,
+            "emb_kv": cfg.emb,
+        }
+        for cfg in _TABLE1
+    ]

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Tests run on deliberately small attention shapes (a few heads, short
+sequences) so the whole suite stays fast while still exercising every code
+path: multiple row-blocks, multiple K/V tiles, multiple head groups and both
+cores of the simulated device.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tiling import TilingConfig
+from repro.hardware.config import HardwareConfig, MacUnitSpec, MemoryLevelSpec, VecUnitSpec
+from repro.hardware.presets import simulated_edge_device
+from repro.utils.units import KB, MB
+from repro.workloads.attention import AttentionWorkload
+
+
+@pytest.fixture
+def edge_hw() -> HardwareConfig:
+    """The paper's simulated edge device (5 MB L1, two cores)."""
+    return simulated_edge_device()
+
+
+@pytest.fixture
+def tiny_hw() -> HardwareConfig:
+    """A small single-core device used to exercise overflow / overwrite paths."""
+    return HardwareConfig(
+        name="tiny",
+        frequency_hz=1e9,
+        num_cores=1,
+        mac=MacUnitSpec(rows=8, cols=8, fill_overhead_cycles=4),
+        vec=VecUnitSpec(lanes=32, throughput_ops_per_cycle=8, softmax_ops_per_element=12),
+        dram=MemoryLevelSpec(
+            name="DRAM",
+            size_bytes=1024 * MB,
+            read_pj_per_byte=60.0,
+            write_pj_per_byte=60.0,
+            bandwidth_bytes_per_cycle=4.0,
+        ),
+        l1=MemoryLevelSpec(
+            name="L1",
+            size_bytes=64 * KB,
+            read_pj_per_byte=2.0,
+            write_pj_per_byte=2.2,
+            bandwidth_bytes_per_cycle=64.0,
+        ),
+        l0=MemoryLevelSpec(
+            name="L0",
+            size_bytes=4 * KB,
+            read_pj_per_byte=0.15,
+            write_pj_per_byte=0.18,
+            bandwidth_bytes_per_cycle=256.0,
+        ),
+    )
+
+
+@pytest.fixture
+def small_workload() -> AttentionWorkload:
+    """A multi-head, multi-block workload small enough for numeric execution."""
+    return AttentionWorkload.self_attention(heads=4, seq=128, emb=64, name="small")
+
+
+@pytest.fixture
+def tiny_workload() -> AttentionWorkload:
+    """The smallest workload that still has several row-blocks and K/V tiles."""
+    return AttentionWorkload.self_attention(heads=2, seq=64, emb=16, name="tiny")
+
+
+@pytest.fixture
+def small_tiling() -> TilingConfig:
+    """Row-blocks of 32 and K/V tiles of 32 — several of each for the fixtures."""
+    return TilingConfig(bb=1, hh=1, nq=32, nkv=32)

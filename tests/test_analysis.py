@@ -1,0 +1,249 @@
+"""Tests for the experiment harnesses (tables, figures, DRAM, limits, SD-UNet, ablations).
+
+The harnesses are exercised on a reduced network subset with search disabled
+(or with tiny budgets) so the suite stays fast; the full-budget runs live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    format_table,
+    run_dram_analysis,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_limits,
+    run_overwrite_ablation,
+    run_sd_unet,
+    run_search_ablation,
+    run_table2,
+    run_table3,
+    run_tiling_ablation,
+)
+from repro.analysis.metrics import energy_savings_pct, geometric_mean, normalize_to, speedup
+from repro.analysis.runner import DEFAULT_METHOD_ORDER
+from repro.hardware.presets import davinci_like_npu, simulated_edge_device
+from repro.utils.units import KB, MB
+from repro.workloads.stable_diffusion import AttentionUnit, StableDiffusionUNetWorkload
+
+FAST_NETWORKS = ["ViT-B/14", "ViT-B/16"]
+
+
+@pytest.fixture(scope="module")
+def fast_runner():
+    """Shared runner with search disabled — heuristic tilings, small networks."""
+    return ExperimentRunner(use_search=False)
+
+
+@pytest.fixture(scope="module")
+def tuned_runner():
+    """Shared runner with a tiny search budget (exercises the Figure-7 path)."""
+    return ExperimentRunner(search_budget=8, seed=0)
+
+
+class TestMetrics:
+    def test_speedup_and_savings(self):
+        assert speedup(200, 100) == 2.0
+        assert energy_savings_pct(100, 80) == pytest.approx(20.0)
+        assert energy_savings_pct(100, 120) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            speedup(0, 1)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize_to(self):
+        assert normalize_to([10, 20, 5], 10) == [1.0, 2.0, 0.5]
+        with pytest.raises(ValueError):
+            normalize_to([1], 0)
+
+
+class TestReport:
+    def test_format_table_alignment_and_values(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bbbb", 7]], precision=2)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.23" in text and "7" in text
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_format_table_title_and_bool(self):
+        text = format_table(["x"], [[True], [False]], title="T")
+        assert text.startswith("T\n") and "yes" in text and "no" in text
+
+
+class TestRunner:
+    def test_method_and_network_ordering(self, fast_runner):
+        assert fast_runner.methods() == list(DEFAULT_METHOD_ORDER)
+        assert fast_runner.methods(["mas", "flat"]) == ["flat", "mas"]
+        with pytest.raises(KeyError):
+            fast_runner.methods(["warp-attention"])
+        assert fast_runner.networks(["vit-b/14"]) == ["ViT-B/14"]
+
+    def test_run_caches(self, fast_runner):
+        a = fast_runner.run("mas", "ViT-B/14")
+        b = fast_runner.run("mas", "ViT-B/14")
+        assert a is b
+        assert a.cycles > 0 and not a.tuned
+
+    def test_run_matrix_shape(self, fast_runner):
+        matrix = fast_runner.run_matrix(FAST_NETWORKS, ["flat", "mas"])
+        assert set(matrix) == {"ViT-B/14", "ViT-B/16"}
+        assert set(matrix["ViT-B/14"]) == {"flat", "mas"}
+
+    def test_tuned_runner_records_history(self, tuned_runner):
+        run = tuned_runner.run("mas", "ViT-B/14")
+        assert run.tuned and run.tuning.num_evaluations > 0
+
+
+class TestTable2:
+    def test_structure_and_speedups(self, fast_runner):
+        result = run_table2(fast_runner, networks=FAST_NETWORKS)
+        assert result.networks == ["ViT-B/14", "ViT-B/16"]
+        row = result.row("ViT-B/14")
+        assert set(row.cycles) == set(DEFAULT_METHOD_ORDER)
+        for method, value in row.speedups.items():
+            assert value == pytest.approx(row.cycles[method] / row.cycles["mas"])
+        assert set(result.geomean_speedups) == set(DEFAULT_METHOD_ORDER) - {"mas"}
+        assert "Table 2" in result.format()
+
+    def test_mas_wins_on_fast_networks(self, fast_runner):
+        result = run_table2(fast_runner, networks=FAST_NETWORKS)
+        assert result.mas_wins()
+        assert all(v >= 1.0 for v in result.geomean_speedups.values())
+
+    def test_row_lookup_error(self, fast_runner):
+        result = run_table2(fast_runner, networks=FAST_NETWORKS)
+        with pytest.raises(KeyError):
+            result.row("BERT-Base & T5-Base")
+
+
+class TestTable3:
+    def test_savings_definition(self, fast_runner):
+        result = run_table3(fast_runner, networks=FAST_NETWORKS)
+        row = result.row("ViT-B/14")
+        for method, saving in row.savings_pct.items():
+            expected = (1 - row.energy_pj["mas"] / row.energy_pj[method]) * 100
+            assert saving == pytest.approx(expected)
+        assert "Table 3" in result.format()
+
+    def test_mas_saves_energy_vs_unfused(self, fast_runner):
+        result = run_table3(fast_runner, networks=FAST_NETWORKS)
+        assert result.geomean_savings_pct["layerwise"] > 20
+        assert result.geomean_savings_pct["softpipe"] > 10
+
+
+class TestFigures:
+    def test_figure5_normalization(self):
+        runner = ExperimentRunner(hardware=davinci_like_npu(), use_search=False)
+        result = run_figure5(runner, networks=FAST_NETWORKS)
+        assert result.methods == ["layerwise", "softpipe", "flat", "mas"]
+        for row in result.rows:
+            assert row.normalized["layerwise"] == pytest.approx(1.0)
+            assert row.normalized["mas"] < 1.0
+        assert all(v >= 1.0 for m, v in result.geomean_speedups.items() if m != "mas")
+        assert len(result.series("mas")) == len(FAST_NETWORKS)
+
+    def test_figure6_breakdown_sums_to_total(self, fast_runner):
+        result = run_figure6(fast_runner, networks=FAST_NETWORKS)
+        entry = result.entry("ViT-B/14", "mas")
+        component_sum = sum(entry.component_pj(c) for c in ("DRAM", "L1", "L0", "MAC_PE", "VEC_PE"))
+        assert component_sum <= entry.total_pj  # leakage accounts for the rest
+        assert component_sum > 0.5 * entry.total_pj
+        assert result.pe_energy_constant_across_methods()
+        with pytest.raises(KeyError):
+            entry.component_pj("HBM")
+
+    def test_figure7_requires_search(self, fast_runner):
+        with pytest.raises(ValueError):
+            run_figure7(fast_runner, networks=FAST_NETWORKS)
+
+    def test_figure7_convergence(self, tuned_runner):
+        result = run_figure7(tuned_runner, networks=["ViT-B/14"])
+        assert "fusemax" not in result.methods  # manual tiling, excluded as in the paper
+        series = result.get("ViT-B/14", "mas")
+        assert series.is_monotone_nonincreasing()
+        assert series.improvement_factor >= 1.0
+        assert "Figure 7" in result.format()
+
+
+class TestDramAnalysis:
+    def test_writes_equal_and_reads_ratio(self, fast_runner):
+        result = run_dram_analysis(fast_runner, networks=FAST_NETWORKS, include_constrained=False)
+        for row in result.standard:
+            assert row.writes_equal           # Section 5.4.1
+            assert row.read_ratio >= 1.0 - 1e-9
+        assert result.max_read_ratio() < 1.6  # paper reports at most ~1.5x
+
+    def test_constrained_device_triggers_reloads(self):
+        runner = ExperimentRunner(use_search=False)
+        result = run_dram_analysis(
+            runner, networks=["BERT-Base"], constrained_l1_bytes=192 * KB
+        )
+        constrained = result.row("BERT-Base & T5-Base", constrained=True)
+        assert constrained.mas_overwrites > 0
+        assert constrained.mas_reads > constrained.flat_reads
+        assert constrained.writes_equal
+        assert "DRAM" in result.format()
+
+
+class TestLimits:
+    def test_paper_figures(self):
+        result = run_limits()
+        paper = result.row_for_l1(5 * MB)
+        assert 0.9e6 < paper.mas_max_seq < 1.4e6
+        assert paper.flat_over_mas == pytest.approx(2.0, rel=0.05)
+        assert "maximum sequence length" in result.format()
+
+    def test_monotone_in_l1(self):
+        result = run_limits(l1_sweep_bytes=[1 * MB, 2 * MB, 4 * MB])
+        seqs = [row.mas_max_seq for row in result.rows]
+        assert seqs == sorted(seqs)
+
+
+class TestSDUNet:
+    @pytest.fixture(scope="class")
+    def small_unet(self):
+        units = tuple(
+            AttentionUnit(f"u{i}", heads=2, seq=seq, emb=32)
+            for i, seq in enumerate([256, 128, 64, 128, 256])
+        )
+        return StableDiffusionUNetWorkload(units=units, non_attention_fraction=0.78)
+
+    def test_reductions_positive_and_bounded(self, small_unet):
+        result = run_sd_unet(workload=small_unet, use_search=False)
+        assert 0 < result.largest_unit_reduction_pct < 100
+        assert 0 < result.end_to_end_reduction_pct < result.attention_reduction_pct
+        assert result.largest_unit.seq == 256
+        assert "Stable Diffusion" in result.format()
+
+    def test_end_to_end_scaling_by_attention_share(self, small_unet):
+        result = run_sd_unet(workload=small_unet, use_search=False)
+        expected = result.attention_reduction_pct * (1 - small_unet.non_attention_fraction)
+        assert result.end_to_end_reduction_pct == pytest.approx(expected)
+
+
+class TestAblations:
+    def test_overwrite_ablation(self):
+        result = run_overwrite_ablation(networks=["T5-Mini"])
+        assert result.summary["mean_speedup"] > 1.0
+        assert "overwrite" in result.format()
+
+    def test_tiling_ablation(self):
+        result = run_tiling_ablation(networks=["ViT-B/14"], search_budget=8)
+        assert result.rows and result.summary["mean_speedup"] > 0.0
+
+    def test_search_ablation(self):
+        result = run_search_ablation(
+            network="ViT-B/14", budget=10, strategies=["random", "mcts"], method="mas"
+        )
+        assert len(result.rows) == 2
+        assert all(v >= 1.0 for v in result.summary.values())

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["networks"],
+            ["compare", "BERT-Base"],
+            ["table2", "--budget", "10", "--networks", "ViT-B/14"],
+            ["fig5", "--no-search"],
+            ["limits", "--emb", "128"],
+            ["sdunet"],
+            ["ablation", "overwrite"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestCommands:
+    def test_networks_lists_table1(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-Base" in out and "XLM" in out and "Table 1" in out
+
+    def test_compare_runs_all_methods(self, capsys):
+        assert main(["compare", "ViT-B/14"]) == 0
+        out = capsys.readouterr().out
+        for method in ("layerwise", "flat", "mas"):
+            assert method in out
+
+    def test_limits_command(self, capsys):
+        assert main(["limits"]) == 0
+        assert "FLAT / MAS" in capsys.readouterr().out
+
+    def test_table2_fast_path_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "t2.json"
+        code = main(
+            ["table2", "--no-search", "--networks", "ViT-B/14", "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "MAS vs flat" in out
+        payload = json.loads(json_path.read_text())
+        assert "rows" in payload and payload["rows"]
+
+    def test_dram_command_standard_only(self, capsys):
+        code = main(["dram", "--no-search", "--networks", "ViT-B/14"])
+        assert code == 0
+        assert "DRAM accesses" in capsys.readouterr().out
+
+    def test_timeline_command(self, capsys):
+        code = main(["timeline", "ViT-B/14", "--methods", "flat", "mas", "--width", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core0.mac" in out and "core0.vec" in out and "legend" in out
+
+    def test_timeline_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "ViT-B/14", "--methods", "warp"])
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "vec_throughput", "--network", "ViT-B/14", "--no-search"])
+        assert code == 0
+        assert "MAS speedup" in capsys.readouterr().out

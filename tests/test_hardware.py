@@ -1,0 +1,282 @@
+"""Unit tests for :mod:`repro.hardware` (config, cost models, energy, buffer, presets)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.buffer import BufferManager, BufferOverflowError
+from repro.hardware.compute_units import (
+    elementwise_cycles,
+    elementwise_vec_ops,
+    matmul_cycles,
+    matmul_macs,
+    softmax_cycles,
+    softmax_vec_ops,
+)
+from repro.hardware.config import (
+    DmaSpec,
+    HardwareConfig,
+    MacUnitSpec,
+    MemoryLevelSpec,
+    VecUnitSpec,
+)
+from repro.hardware.energy import AccessCounters, EnergyBreakdown, EnergyModel
+from repro.hardware.memory import MemoryHierarchy, dma_cycles
+from repro.hardware.presets import (
+    PRESETS,
+    constrained_edge_device,
+    davinci_like_npu,
+    get_preset,
+    simulated_edge_device,
+)
+from repro.utils.units import GHZ, KB, MB
+
+
+class TestSpecs:
+    def test_mac_spec_derived_properties(self):
+        spec = MacUnitSpec(rows=16, cols=16)
+        assert spec.num_pes == 256
+        assert spec.peak_macs_per_cycle == 256
+
+    def test_mac_spec_validation(self):
+        with pytest.raises(ValueError):
+            MacUnitSpec(rows=0)
+        with pytest.raises(ValueError):
+            MacUnitSpec(fill_overhead_cycles=-1)
+
+    def test_vec_spec_validation(self):
+        with pytest.raises(ValueError):
+            VecUnitSpec(lanes=0)
+        with pytest.raises(ValueError):
+            VecUnitSpec(throughput_ops_per_cycle=0)
+
+    def test_memory_level_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevelSpec(name="", size_bytes=1, read_pj_per_byte=1, write_pj_per_byte=1,
+                            bandwidth_bytes_per_cycle=1)
+        with pytest.raises(ValueError):
+            MemoryLevelSpec(name="L1", size_bytes=1, read_pj_per_byte=1, write_pj_per_byte=1,
+                            bandwidth_bytes_per_cycle=0)
+
+    def test_dma_spec_validation(self):
+        with pytest.raises(ValueError):
+            DmaSpec(bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            DmaSpec(setup_cycles=-1)
+
+
+class TestHardwareConfig:
+    def test_paper_defaults(self, edge_hw):
+        """Defaults match the Section 5.1 simulated architecture."""
+        assert edge_hw.frequency_hz == pytest.approx(3.75 * GHZ)
+        assert edge_hw.num_cores == 2
+        assert edge_hw.mac.rows == 16 and edge_hw.mac.cols == 16
+        assert edge_hw.vec.lanes == 256
+        assert edge_hw.l1_bytes == 5 * MB
+        assert edge_hw.dram.size_bytes == 6 * 1024 * MB
+
+    def test_with_l1_and_with_cores(self, edge_hw):
+        shrunk = edge_hw.with_l1_bytes(256 * KB)
+        assert shrunk.l1_bytes == 256 * KB
+        assert shrunk.dram == edge_hw.dram
+        assert edge_hw.l1_bytes == 5 * MB  # original untouched (frozen dataclass)
+        quad = edge_hw.with_cores(4)
+        assert quad.num_cores == 4
+        assert quad.core_names() == ["core0", "core1", "core2", "core3"]
+
+    def test_peak_macs(self, edge_hw):
+        assert edge_hw.peak_macs_per_cycle == 2 * 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(frequency_hz=0)
+
+
+class TestComputeCosts:
+    def test_matmul_macs(self):
+        assert matmul_macs(4, 8, 2) == 64
+        with pytest.raises(ValueError):
+            matmul_macs(0, 1, 1)
+
+    def test_matmul_cycles_scales_with_passes(self):
+        spec = MacUnitSpec(rows=16, cols=16, fill_overhead_cycles=0)
+        base = matmul_cycles(spec, 16, 64, 16)
+        assert base == 64
+        # Four output tiles -> four passes.
+        assert matmul_cycles(spec, 32, 64, 32) == 4 * base
+
+    def test_matmul_cycles_fill_overhead(self):
+        without = matmul_cycles(MacUnitSpec(fill_overhead_cycles=0), 16, 64, 16)
+        with_overhead = matmul_cycles(MacUnitSpec(fill_overhead_cycles=16), 16, 64, 16)
+        assert with_overhead == without + 16
+
+    def test_softmax_cycles_row_structure(self):
+        spec = VecUnitSpec(throughput_ops_per_cycle=32, softmax_ops_per_element=16,
+                           row_overhead_cycles=8)
+        one_row = softmax_cycles(spec, 1, 64)
+        assert one_row == 64 * 16 // 32 + 8
+        assert softmax_cycles(spec, 10, 64) == 10 * one_row
+
+    def test_softmax_vec_ops(self):
+        spec = VecUnitSpec(softmax_ops_per_element=18)
+        assert softmax_vec_ops(4, 32, spec) == 4 * 32 * 18
+
+    def test_elementwise(self):
+        spec = VecUnitSpec(throughput_ops_per_cycle=8)
+        assert elementwise_cycles(spec, 64, 2) == 16
+        assert elementwise_vec_ops(64, 2) == 128
+
+
+class TestMemory:
+    def test_dma_cycles_bandwidth_and_setup(self, edge_hw):
+        assert dma_cycles(edge_hw, 0) == 0
+        expected = 8192 // int(edge_hw.dma.bytes_per_cycle) + edge_hw.dma.setup_cycles
+        assert dma_cycles(edge_hw, 8192) == expected
+
+    def test_dma_cycles_fractional_bandwidth(self):
+        hw = HardwareConfig(dma=DmaSpec(bytes_per_cycle=0.5, setup_cycles=0))
+        assert dma_cycles(hw, 100) == 200
+
+    def test_dma_cycles_rejects_negative(self, edge_hw):
+        with pytest.raises(ValueError):
+            dma_cycles(edge_hw, -1)
+
+    def test_hierarchy_lookup(self, edge_hw):
+        hier = MemoryHierarchy(edge_hw)
+        assert hier.level_by_name("l1").name == "L1"
+        assert [lvl.name for lvl in hier.levels()] == ["DRAM", "L1", "L0"]
+        assert hier.fits_in_l1(4 * MB)
+        assert not hier.fits_in_l1(6 * MB)
+        with pytest.raises(KeyError):
+            hier.level_by_name("L7")
+
+
+class TestEnergy:
+    def test_counters_add(self):
+        a = AccessCounters(dram_bytes_read=10, mac_ops=5, total_cycles=100)
+        b = AccessCounters(dram_bytes_read=20, vec_ops=7, total_cycles=50)
+        c = a + b
+        assert c.dram_bytes_read == 30
+        assert c.mac_ops == 5 and c.vec_ops == 7
+        assert c.total_cycles == 100  # max, not sum
+        assert c.dram_bytes_total == 30
+
+    def test_counters_reject_negative(self):
+        with pytest.raises(ValueError):
+            AccessCounters(dram_bytes_read=-1)
+
+    def test_energy_model_linear_in_counters(self, edge_hw):
+        model = EnergyModel(edge_hw)
+        counters = AccessCounters(
+            dram_bytes_read=1000, dram_bytes_written=500,
+            l1_bytes_read=2000, l1_bytes_written=2000,
+            l0_bytes_read=100, l0_bytes_written=100,
+            mac_ops=10_000, vec_ops=5_000, total_cycles=1_000,
+        )
+        breakdown = model.compute(counters)
+        assert breakdown.dram_pj == pytest.approx(
+            1000 * edge_hw.dram.read_pj_per_byte + 500 * edge_hw.dram.write_pj_per_byte
+        )
+        assert breakdown.mac_pe_pj == pytest.approx(10_000 * edge_hw.mac_pj_per_op)
+        assert breakdown.leakage_pj == pytest.approx(1_000 * edge_hw.leakage_pj_per_cycle)
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.dram_pj + breakdown.l1_pj + breakdown.l0_pj
+            + breakdown.mac_pe_pj + breakdown.vec_pe_pj + breakdown.leakage_pj
+        )
+
+    def test_breakdown_views(self):
+        b = EnergyBreakdown(dram_pj=1, l1_pj=2, l0_pj=3, mac_pe_pj=4, vec_pe_pj=5, leakage_pj=6)
+        assert b.onchip_memory_pj == 5
+        assert b.pe_pj == 9
+        assert b.as_dict()["total"] == pytest.approx(21)
+
+
+class TestBufferManager:
+    def test_alloc_free_accounting(self):
+        buf = BufferManager(capacity_bytes=1000)
+        buf.alloc("K", 400)
+        buf.alloc("V", 400, evictable=True)
+        assert buf.used_bytes == 800 and buf.free_bytes == 200
+        assert buf.contains("K") and buf.resident_names() == ["K", "V"]
+        buf.free("K")
+        assert buf.used_bytes == 400
+        with pytest.raises(KeyError):
+            buf.free("K")
+        assert buf.free_if_present("V") and not buf.free_if_present("V")
+
+    def test_duplicate_allocation_rejected(self):
+        buf = BufferManager(capacity_bytes=100)
+        buf.alloc("X", 10)
+        with pytest.raises(ValueError):
+            buf.alloc("X", 10)
+
+    def test_oversized_allocation_rejected(self):
+        buf = BufferManager(capacity_bytes=100)
+        with pytest.raises(BufferOverflowError):
+            buf.alloc("huge", 101)
+
+    def test_eviction_frees_space_and_records_events(self):
+        buf = BufferManager(capacity_bytes=1000)
+        buf.alloc("K", 600, evictable=True, tag="kv")
+        buf.alloc("Q", 300)
+        events = buf.alloc("P", 500)
+        assert [e.victim for e in events] == ["K"]
+        assert buf.contains("P") and not buf.contains("K")
+        assert buf.evictions[0].requested_by == "P"
+        assert buf.evictions[0].tag == "kv"
+
+    def test_eviction_disabled_raises(self):
+        buf = BufferManager(capacity_bytes=1000)
+        buf.alloc("K", 600, evictable=True)
+        with pytest.raises(BufferOverflowError):
+            buf.alloc("P", 500, allow_evict=False)
+
+    def test_eviction_insufficient_raises(self):
+        buf = BufferManager(capacity_bytes=1000)
+        buf.alloc("K", 200, evictable=True)
+        buf.alloc("Q", 700)
+        with pytest.raises(BufferOverflowError):
+            buf.alloc("P", 400)
+
+    def test_explicit_evict_and_reset(self):
+        buf = BufferManager(capacity_bytes=100)
+        buf.alloc("A", 50)
+        event = buf.evict("A", requested_by="test")
+        assert event.num_bytes == 50
+        with pytest.raises(KeyError):
+            buf.evict("A")
+        buf.alloc("B", 10)
+        buf.reset()
+        assert buf.used_bytes == 0 and buf.evictions == []
+
+
+class TestPresets:
+    def test_registry_contents(self):
+        assert set(PRESETS) == {"edge-sim", "davinci-like", "edge-constrained"}
+        for name in PRESETS:
+            assert isinstance(get_preset(name), HardwareConfig)
+        with pytest.raises(KeyError):
+            get_preset("tpu-v5")
+
+    def test_simulated_edge_matches_default(self):
+        assert simulated_edge_device() == HardwareConfig(name="edge-sim")
+
+    def test_davinci_preset_differs(self):
+        davinci = davinci_like_npu()
+        assert davinci.num_cores == 3
+        assert davinci.l1_bytes < simulated_edge_device().l1_bytes
+        assert davinci.frequency_hz < simulated_edge_device().frequency_hz
+
+    def test_constrained_preset_shrinks_l1_only(self):
+        constrained = constrained_edge_device(128 * KB)
+        assert constrained.l1_bytes == 128 * KB
+        assert constrained.mac == simulated_edge_device().mac
+
+    def test_presets_are_fresh_instances(self):
+        a, b = simulated_edge_device(), simulated_edge_device()
+        assert a == b
+        assert dataclasses.replace(a, num_cores=4) != b

@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.numerics` (reference attention, tiled executors, golden check)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import TilingConfig
+from repro.numerics.golden import EXECUTORS, golden_check, make_qkv
+from repro.numerics.reference import (
+    attention_scores,
+    naive_softmax,
+    online_softmax,
+    reference_attention,
+    stable_softmax,
+)
+from repro.numerics.tiled import (
+    flat_attention,
+    fusemax_attention,
+    layerwise_attention,
+    mas_attention,
+    softpipe_attention,
+    tileflow_attention,
+)
+from repro.workloads.attention import AttentionWorkload
+
+
+def random_qkv(b=1, h=2, n=96, e=16, seed=0, dtype=np.float64):
+    wl = AttentionWorkload(batch=b, heads=h, seq_q=n, seq_kv=n, emb=e)
+    return make_qkv(wl, seed=seed, dtype=dtype)
+
+
+class TestSoftmax:
+    def test_stable_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 7))
+        p = stable_softmax(x)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-12)
+        assert np.all(p >= 0)
+
+    def test_stable_matches_naive_for_small_logits(self):
+        x = np.random.default_rng(1).standard_normal((3, 5))
+        np.testing.assert_allclose(stable_softmax(x), naive_softmax(x), rtol=1e-12)
+
+    def test_stable_softmax_handles_large_logits(self):
+        x = np.array([[1000.0, 1000.0, 999.0]])
+        p = stable_softmax(x)
+        assert np.all(np.isfinite(p))
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_stable_softmax_invariant_to_shift(self):
+        x = np.random.default_rng(2).standard_normal((2, 9))
+        np.testing.assert_allclose(stable_softmax(x), stable_softmax(x + 123.0), rtol=1e-10)
+
+    @pytest.mark.parametrize("tile", [1, 3, 8, 64])
+    def test_online_softmax_matches_stable(self, tile):
+        x = np.random.default_rng(3).standard_normal((2, 4, 64))
+        probs, running_max, running_sum = online_softmax(x, tile=tile)
+        np.testing.assert_allclose(probs, stable_softmax(x), rtol=1e-6, atol=1e-9)
+        np.testing.assert_allclose(running_max, np.max(x, axis=-1))
+        assert np.all(running_sum > 0)
+
+    def test_online_softmax_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            online_softmax(np.zeros((2, 4)), tile=0)
+
+
+class TestReferenceAttention:
+    def test_matches_manual_computation(self):
+        q, k, v = random_qkv(n=8, e=4)
+        out = reference_attention(q, k, v)
+        scale = 1.0 / np.sqrt(4)
+        scores = scale * q @ np.swapaxes(k, -1, -2)
+        expected = stable_softmax(scores) @ v
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_output_shape(self):
+        q, k, v = random_qkv(b=2, h=3, n=16, e=8)
+        assert reference_attention(q, k, v).shape == (2, 3, 16, 8)
+
+    def test_custom_scale(self):
+        q, k, v = random_qkv(n=8, e=4)
+        default = reference_attention(q, k, v)
+        unscaled = reference_attention(q, k, v, scale=1.0)
+        assert not np.allclose(default, unscaled)
+
+    def test_incompatible_shapes_rejected(self):
+        q, k, v = random_qkv()
+        with pytest.raises(ValueError):
+            reference_attention(q, k[..., :8], v[..., :8])
+
+    def test_attention_scores_scaling(self):
+        q, k, _ = random_qkv(n=4, e=16)
+        np.testing.assert_allclose(
+            attention_scores(q, k, scale=2.0), 2.0 * np.einsum("...qe,...ke->...qk", q, k)
+        )
+
+
+class TestTiledExecutors:
+    @pytest.mark.parametrize(
+        "executor",
+        [layerwise_attention, softpipe_attention, flat_attention, tileflow_attention,
+         fusemax_attention, mas_attention],
+        ids=["layerwise", "softpipe", "flat", "tileflow", "fusemax", "mas"],
+    )
+    def test_matches_reference(self, executor):
+        q, k, v = random_qkv(b=2, h=2, n=80, e=16, seed=11)
+        expected = reference_attention(q, k, v)
+        kwargs = {}
+        if executor is not layerwise_attention:
+            kwargs["nq"] = 32
+        if executor in (flat_attention, tileflow_attention, fusemax_attention, mas_attention):
+            kwargs["nkv"] = 32
+        np.testing.assert_allclose(executor(q, k, v, **kwargs), expected, rtol=1e-6, atol=1e-8)
+
+    @pytest.mark.parametrize("nq,nkv", [(16, 16), (32, 48), (80, 80), (7, 13)])
+    def test_mas_exact_for_odd_tilings(self, nq, nkv):
+        """Tilings that do not divide the sequence still give exact attention."""
+        q, k, v = random_qkv(n=80, e=16, seed=5)
+        expected = reference_attention(q, k, v)
+        np.testing.assert_allclose(mas_attention(q, k, v, nq=nq, nkv=nkv), expected,
+                                   rtol=1e-6, atol=1e-8)
+
+    def test_mas_round_log_follows_algorithm1(self):
+        q, k, v = random_qkv(n=96, e=16)
+        _, log = mas_attention(q, k, v, nq=32, nkv=32, return_round_log=True)
+        # 3 blocks: QK1 | QK2+SM1 | PV1+QK3+SM2 | PV2+SM3 | PV3
+        ops = [entry.split(":")[1] for entry in log]
+        assert ops.count("QK1") == 1 and ops.count("SM1") == 1 and ops.count("PV1") == 1
+        assert ops.index("QK1") < ops.index("SM1") < ops.index("PV1")
+        assert ops.index("QK3") < ops.index("SM3") < ops.index("PV3")
+
+    def test_fusemax_never_materializes_full_scores(self):
+        """The online executor works tile-by-tile; a huge sequence length would
+        otherwise need an N x N probability matrix.  We only check correctness
+        on a moderate size (memory behaviour is structural)."""
+        q, k, v = random_qkv(n=128, e=8, seed=3)
+        np.testing.assert_allclose(
+            fusemax_attention(q, k, v, nq=32, nkv=16),
+            reference_attention(q, k, v),
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+    def test_shape_validation(self):
+        q, k, v = random_qkv()
+        with pytest.raises(ValueError):
+            flat_attention(q[0], k[0], v[0])  # not 4-D
+        with pytest.raises(ValueError):
+            mas_attention(q, k, v, nq=0)
+
+
+class TestGoldenCheck:
+    def test_golden_check_passes_for_all_executors(self, tiny_workload):
+        result = golden_check(tiny_workload, tolerance=1e-4)
+        assert result.passed, result.summary()
+        assert set(result.max_errors) == set(EXECUTORS)
+        assert result.failures() == {}
+
+    def test_golden_check_reports_failures(self, tiny_workload):
+        """A broken executor is caught by the check."""
+        broken = dict(EXECUTORS)
+        broken["broken"] = lambda q, k, v, nq, nkv: np.zeros_like(q)
+        result = golden_check(tiny_workload, executors=broken)
+        assert not result.passed
+        assert "broken" in result.failures()
+        assert "FAIL" in result.summary()
+
+    def test_golden_check_respects_tiling(self, tiny_workload):
+        tiling = TilingConfig(nq=16, nkv=16)
+        result = golden_check(tiny_workload, tiling=tiling)
+        assert result.tiling.nq == 16 and result.passed
+
+    def test_make_qkv_deterministic(self, tiny_workload):
+        q1, k1, v1 = make_qkv(tiny_workload, seed=42)
+        q2, k2, v2 = make_qkv(tiny_workload, seed=42)
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_array_equal(k1, k2)
+        np.testing.assert_array_equal(v1, v2)
+        assert q1.shape == (1, tiny_workload.heads, tiny_workload.seq_q, tiny_workload.emb)

@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stream import OpKind, plan_rounds
+from repro.core.tiling import TilingConfig, mas_footprint_bytes, score_block_bytes
+from repro.hardware.buffer import BufferManager, BufferOverflowError
+from repro.hardware.compute_units import matmul_cycles, matmul_macs, softmax_cycles
+from repro.hardware.config import MacUnitSpec, VecUnitSpec
+from repro.numerics.reference import online_softmax, reference_attention, stable_softmax
+from repro.numerics.tiled import flat_attention, fusemax_attention, mas_attention
+from repro.sim.engine import critical_path_cycles, simulate_graph
+from repro.sim.tasks import TaskGraph, TaskKind
+from repro.utils.validation import ceil_div
+from repro.workloads.attention import AttentionWorkload
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+dims = st.integers(min_value=1, max_value=96)
+small_dims = st.integers(min_value=1, max_value=48)
+
+
+@st.composite
+def workloads(draw):
+    return AttentionWorkload(
+        batch=draw(st.integers(1, 2)),
+        heads=draw(st.integers(1, 4)),
+        seq_q=draw(st.integers(1, 96)),
+        seq_kv=draw(st.integers(1, 96)),
+        emb=draw(st.sampled_from([8, 16, 32])),
+    )
+
+
+@st.composite
+def tilings(draw):
+    return TilingConfig(
+        bb=draw(st.integers(1, 2)),
+        hh=draw(st.integers(1, 4)),
+        nq=draw(st.integers(1, 96)),
+        nkv=draw(st.integers(1, 96)),
+        kv_resident=draw(st.booleans()),
+    )
+
+
+@st.composite
+def task_graphs(draw):
+    """Random DAGs over a handful of resources (deps always point backwards)."""
+    n = draw(st.integers(1, 40))
+    resources = ["core0.mac", "core0.vec", "dma", ""]
+    graph = TaskGraph(name="random")
+    for i in range(n):
+        num_deps = draw(st.integers(0, min(i, 3)))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), min_size=num_deps, max_size=num_deps, unique=True)
+        ) if i else []
+        resource = draw(st.sampled_from(resources))
+        cycles = 0 if resource == "" else draw(st.integers(0, 50))
+        graph.add(f"t{i}", TaskKind.VECOP if resource else TaskKind.BARRIER,
+                  resource, cycles, deps=deps)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Numerics
+# --------------------------------------------------------------------------- #
+class TestSoftmaxProperties:
+    @given(st.integers(1, 6), st.integers(1, 64), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_stable_softmax_is_a_distribution(self, rows, cols, seed):
+        x = 10 * np.random.default_rng(seed).standard_normal((rows, cols))
+        p = stable_softmax(x)
+        assert np.all(p >= 0) and np.all(p <= 1)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-9)
+
+    @given(st.integers(1, 64), st.integers(1, 70), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_online_softmax_matches_stable_for_any_tile(self, tile, cols, seed):
+        x = 5 * np.random.default_rng(seed).standard_normal((3, cols))
+        probs, _, _ = online_softmax(x, tile=tile)
+        np.testing.assert_allclose(probs, stable_softmax(x), rtol=1e-6, atol=1e-10)
+
+
+class TestExecutorEquivalence:
+    @given(workloads(), st.integers(1, 64), st.integers(1, 64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_all_dataflows_compute_exact_attention(self, workload, nq, nkv, seed):
+        """Any tiling of any dataflow reproduces the reference (exactness invariant)."""
+        rng = np.random.default_rng(seed)
+        shape_q = (workload.batch, workload.heads, workload.seq_q, workload.emb)
+        shape_kv = (workload.batch, workload.heads, workload.seq_kv, workload.emb)
+        q = rng.standard_normal(shape_q)
+        k = rng.standard_normal(shape_kv)
+        v = rng.standard_normal(shape_kv)
+        expected = reference_attention(q, k, v)
+        for executor in (flat_attention, fusemax_attention, mas_attention):
+            np.testing.assert_allclose(
+                executor(q, k, v, nq=nq, nkv=nkv), expected, rtol=1e-6, atol=1e-8
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Cost models
+# --------------------------------------------------------------------------- #
+class TestCostModelProperties:
+    @given(dims, dims, dims)
+    @settings(max_examples=60, deadline=None)
+    def test_matmul_cycles_lower_bounded_by_ideal(self, m, k, n):
+        spec = MacUnitSpec(rows=16, cols=16, fill_overhead_cycles=0)
+        ideal = ceil_div(matmul_macs(m, k, n), spec.peak_macs_per_cycle)
+        assert matmul_cycles(spec, m, k, n) >= ideal
+
+    @given(dims, dims, dims, st.integers(0, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_matmul_cycles_monotone_in_overhead(self, m, k, n, overhead):
+        low = matmul_cycles(MacUnitSpec(fill_overhead_cycles=0), m, k, n)
+        high = matmul_cycles(MacUnitSpec(fill_overhead_cycles=overhead), m, k, n)
+        assert high >= low
+
+    @given(st.integers(1, 128), st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_cycles_linear_in_rows(self, rows, cols):
+        spec = VecUnitSpec()
+        assert softmax_cycles(spec, rows, cols) == rows * softmax_cycles(spec, 1, cols)
+
+
+# --------------------------------------------------------------------------- #
+# Tiling / footprint
+# --------------------------------------------------------------------------- #
+class TestTilingProperties:
+    @given(workloads(), tilings())
+    @settings(max_examples=80, deadline=None)
+    def test_clamp_never_exceeds_workload(self, workload, tiling):
+        clamped = tiling.clamp_to(workload)
+        assert clamped.bb <= workload.batch and clamped.hh <= workload.heads
+        assert clamped.nq <= workload.seq_q and clamped.nkv <= workload.seq_kv
+        clamped.validate_for(workload)
+
+    @given(workloads(), tilings())
+    @settings(max_examples=80, deadline=None)
+    def test_blocks_cover_iteration_space(self, workload, tiling):
+        tiling = tiling.clamp_to(workload)
+        assert tiling.num_blocks(workload) * tiling.nq >= workload.seq_q
+        assert tiling.num_kv_tiles(workload) * tiling.nkv >= workload.seq_kv
+
+    @given(workloads(), tilings())
+    @settings(max_examples=80, deadline=None)
+    def test_footprint_positive_and_contains_score_blocks(self, workload, tiling):
+        tiling = tiling.clamp_to(workload)
+        footprint = mas_footprint_bytes(workload, tiling)
+        assert footprint >= 2 * score_block_bytes(workload, tiling)
+
+
+# --------------------------------------------------------------------------- #
+# Stream rounds
+# --------------------------------------------------------------------------- #
+class TestStreamProperties:
+    @given(st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_round_plan_is_complete_and_ordered(self, num_blocks):
+        rounds = plan_rounds(num_blocks)
+        seen: dict[tuple[str, int], int] = {}
+        for rnd in rounds:
+            for op in rnd.mac_ops + rnd.vec_ops:
+                key = (op.kind.value, op.block)
+                assert key not in seen, "operator scheduled twice"
+                seen[key] = rnd.index
+        for block in range(1, num_blocks + 1):
+            assert seen[("QK", block)] < seen[("SM", block)] < seen[("PV", block)]
+        assert len(seen) == 3 * num_blocks
+
+
+# --------------------------------------------------------------------------- #
+# Simulator
+# --------------------------------------------------------------------------- #
+class TestEngineProperties:
+    @given(task_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_respects_all_constraints(self, graph):
+        trace = simulate_graph(graph)
+        records = {r.task.tid: r for r in trace.records}
+        assert len(records) == len(graph)
+        for task in graph:
+            record = records[task.tid]
+            assert record.finish == record.start + task.cycles
+            for dep in task.deps:
+                assert record.start >= records[dep].finish
+        # Single-server resources never overlap two tasks.
+        for resource in trace.resources():
+            intervals = sorted(
+                (r.start, r.finish) for r in trace.records if r.task.resource == resource
+            )
+            for (s1, f1), (s2, _) in zip(intervals, intervals[1:]):
+                assert s2 >= f1
+
+    @given(task_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, graph):
+        trace = simulate_graph(graph)
+        assert trace.total_cycles >= critical_path_cycles(graph)
+        assert trace.total_cycles >= graph.total_cycles_lower_bound()
+        assert trace.total_cycles <= sum(t.cycles for t in graph)
+
+    @given(task_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_inorder_units_preserve_program_order(self, graph):
+        trace = simulate_graph(graph)
+        records = {r.task.tid: r for r in trace.records}
+        for resource in trace.resources():
+            if resource.startswith("dma"):
+                continue
+            tids = [t.tid for t in graph.tasks_on(resource)]
+            starts = [records[tid].start for tid in tids]
+            assert starts == sorted(starts)
+
+
+# --------------------------------------------------------------------------- #
+# Buffer manager
+# --------------------------------------------------------------------------- #
+class TestBufferProperties:
+    @given(
+        st.integers(64, 4096),
+        st.lists(st.tuples(st.integers(1, 1024), st.booleans()), min_size=1, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, requests):
+        buf = BufferManager(capacity_bytes=capacity)
+        for i, (size, evictable) in enumerate(requests):
+            try:
+                buf.alloc(f"a{i}", size, evictable=evictable)
+            except BufferOverflowError:
+                pass
+            assert 0 <= buf.used_bytes <= capacity
+            assert buf.free_bytes == capacity - buf.used_bytes
+
+    @given(st.lists(st.integers(1, 256), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_then_free_everything_restores_capacity(self, sizes):
+        capacity = sum(sizes)
+        buf = BufferManager(capacity_bytes=capacity)
+        for i, size in enumerate(sizes):
+            buf.alloc(f"a{i}", size)
+        assert buf.free_bytes == 0
+        for i in range(len(sizes)):
+            buf.free(f"a{i}")
+        assert buf.used_bytes == 0 and buf.free_bytes == capacity

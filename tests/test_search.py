@@ -1,0 +1,220 @@
+"""Unit tests for the tiling search (space, objective, algorithms, auto-tuner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tiling import TilingConfig
+from repro.schedulers import FLATScheduler, MASAttentionScheduler, make_scheduler
+from repro.search import (
+    AutoTuner,
+    GeneticSearch,
+    GridSearch,
+    MCTSSearch,
+    RandomSearch,
+    SchedulerObjective,
+    SearchHistory,
+    TilingSearchSpace,
+    tune_scheduler,
+)
+from repro.search.autotuner import STRATEGIES
+from repro.search.objective import TilingEvaluation
+from repro.search.space import DECISIONS
+from repro.utils.rng import make_rng
+from repro.utils.units import KB
+from repro.workloads.attention import AttentionWorkload
+
+
+@pytest.fixture
+def workload():
+    return AttentionWorkload.self_attention(heads=4, seq=256, emb=64, name="search-wl")
+
+
+@pytest.fixture
+def space(workload, edge_hw):
+    return TilingSearchSpace(workload, edge_hw)
+
+
+@pytest.fixture
+def objective(workload, edge_hw):
+    return SchedulerObjective(MASAttentionScheduler(edge_hw), workload)
+
+
+class TestSearchSpace:
+    def test_candidates_respect_workload_dims(self, space, workload):
+        assert max(space.candidates("nq")) == workload.seq_q
+        assert max(space.candidates("nkv")) == workload.seq_kv
+        assert max(space.candidates("hh")) == workload.heads
+        assert set(space.candidates("kv_resident")) == {False, True}
+
+    def test_size_is_product_of_dims(self, space):
+        expected = 1
+        for decision in DECISIONS:
+            expected *= len(space.candidates(decision))
+        assert space.size == expected
+
+    def test_enumerate_covers_the_space(self, space):
+        points = list(space.enumerate())
+        assert len(points) == space.size
+        assert len({(t.bb, t.hh, t.nq, t.nkv, t.kv_resident) for t in points}) == space.size
+
+    def test_make_validates_choices(self, space):
+        tiling = space.make(nq=64, nkv=128, kv_resident=True)
+        assert tiling.nq == 64 and tiling.kv_resident
+        with pytest.raises(ValueError):
+            space.make(nq=63)
+        with pytest.raises(KeyError):
+            space.candidates("depth")
+
+    def test_sample_and_default_are_in_space(self, space):
+        rng = make_rng(0)
+        for _ in range(20):
+            t = space.sample(rng)
+            assert t.nq in space.candidates("nq") and t.nkv in space.candidates("nkv")
+        default = space.default()
+        assert default.nq in space.candidates("nq")
+
+    def test_mutate_changes_at_most_one_decision(self, space):
+        rng = make_rng(1)
+        base = space.default()
+        for _ in range(30):
+            mutated = space.mutate(base, rng)
+            diffs = sum(
+                getattr(base, d) != getattr(mutated, d) for d in DECISIONS
+            )
+            assert diffs <= 1
+
+    def test_crossover_mixes_parents(self, space):
+        rng = make_rng(2)
+        a = space.make(nq=space.candidates("nq")[0], nkv=space.candidates("nkv")[0])
+        b = space.make(nq=space.candidates("nq")[-1], nkv=space.candidates("nkv")[-1])
+        child = space.crossover(a, b, rng)
+        assert child.nq in (a.nq, b.nq) and child.nkv in (a.nkv, b.nkv)
+
+    def test_candidate_cap(self, edge_hw):
+        long_wl = AttentionWorkload.self_attention(heads=2, seq=65536, emb=64)
+        space = TilingSearchSpace(long_wl, edge_hw, max_candidates_per_dim=6)
+        assert len(space.candidates("nq")) <= 6
+        assert len(space.candidates("nkv")) <= 6
+
+
+class TestObjective:
+    def test_evaluation_and_caching(self, objective):
+        tiling = TilingConfig(nq=64, nkv=64)
+        first = objective.evaluate(tiling)
+        assert first.feasible and first.cycles > 0
+        assert first.value == first.cycles
+        before = objective.num_evaluations
+        again = objective.evaluate(tiling)
+        assert objective.num_evaluations == before  # cached
+        assert again.value == first.value
+        assert objective.cache_size >= 1
+
+    def test_infeasible_tilings_get_infinite_value(self, workload, edge_hw):
+        """Baselines reject tilings whose footprint exceeds L1 outright."""
+        tiny = edge_hw.with_l1_bytes(64 * KB)
+        objective = SchedulerObjective(FLATScheduler(tiny), workload)
+        evaluation = objective.evaluate(TilingConfig(nq=256, nkv=256, kv_resident=True))
+        assert not evaluation.feasible and evaluation.value == float("inf")
+
+    def test_mas_allows_overflow_but_not_infeasibility(self, workload, edge_hw):
+        tiny = edge_hw.with_l1_bytes(96 * KB)
+        objective = SchedulerObjective(MASAttentionScheduler(tiny), workload)
+        # Overflows L1 but the overwrite strategy handles it -> still feasible.
+        moderate = objective.evaluate(TilingConfig(nq=32, nkv=64, kv_resident=True))
+        assert moderate.feasible
+        # Non-evictable residency alone exceeds L1 -> infeasible.
+        absurd = objective.evaluate(TilingConfig(nq=256, nkv=256))
+        assert not absurd.feasible
+
+    def test_metric_selection(self, workload, edge_hw):
+        cycles_obj = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, metric="cycles")
+        energy_obj = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, metric="energy")
+        edp_obj = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, metric="edp")
+        tiling = TilingConfig(nq=64, nkv=64)
+        c, e, p = (o.evaluate(tiling) for o in (cycles_obj, energy_obj, edp_obj))
+        assert c.value == c.cycles
+        assert e.value == pytest.approx(e.energy_pj)
+        assert p.value == pytest.approx(c.cycles * e.energy_pj, rel=1e-6)
+        with pytest.raises(ValueError):
+            SchedulerObjective(MASAttentionScheduler(edge_hw), workload, metric="power")
+
+    def test_better_than(self):
+        a = TilingEvaluation(TilingConfig(), True, 100, 1.0, 100.0)
+        b = TilingEvaluation(TilingConfig(), True, 200, 1.0, 200.0)
+        assert a.better_than(b) and not b.better_than(a) and a.better_than(None)
+
+
+class TestHistory:
+    def test_best_tracking_and_convergence(self, objective, space):
+        history = SearchHistory(algorithm="manual")
+        values = []
+        for nq in space.candidates("nq"):
+            evaluation = objective.evaluate(space.make(nq=nq, nkv=64))
+            history.record(evaluation)
+            values.append(evaluation.value)
+        assert history.num_iterations == len(values)
+        assert history.best_value == min(values)
+        curve = history.convergence_curve()
+        assert [v for _, v in curve] == [min(values[: i + 1]) for i in range(len(values))]
+        assert history.improvement_factor >= 1.0
+        rows = history.as_rows()
+        assert len(rows) == len(values) and "best_value" in rows[0]
+
+
+@pytest.mark.parametrize("algorithm_cls", [GridSearch, RandomSearch, MCTSSearch, GeneticSearch])
+class TestAlgorithms:
+    def test_respects_budget_and_finds_feasible(self, algorithm_cls, objective, space):
+        history = algorithm_cls(seed=0).run(objective, space, budget=25)
+        assert 1 <= history.num_iterations <= 25
+        assert history.best is not None and history.best.feasible
+        assert history.best_value < float("inf")
+
+    def test_deterministic_given_seed(self, algorithm_cls, workload, edge_hw, space):
+        def run():
+            objective = SchedulerObjective(MASAttentionScheduler(edge_hw), workload)
+            return algorithm_cls(seed=123).run(objective, space, budget=15).best_value
+
+        assert run() == run()
+
+
+class TestSmartSearchBeatsRandom:
+    def test_mcts_and_ga_no_worse_than_first_sample(self, objective, space):
+        for cls in (MCTSSearch, GeneticSearch):
+            history = cls(seed=0).run(objective, space, budget=30)
+            assert history.best_value <= history.first_value
+
+
+class TestAutoTuner:
+    def test_strategy_defaults_per_device(self, edge_hw):
+        from repro.hardware.presets import davinci_like_npu
+
+        assert AutoTuner(edge_hw).strategy == "mcts+ga"
+        assert AutoTuner(davinci_like_npu()).strategy == "grid"
+        with pytest.raises(ValueError):
+            AutoTuner(edge_hw, strategy="simulated-annealing")
+        assert set(STRATEGIES) == {"mcts+ga", "mcts", "ga", "grid", "random"}
+
+    def test_tune_improves_over_default(self, edge_hw, workload):
+        scheduler = MASAttentionScheduler(edge_hw)
+        default_cycles = scheduler.simulate(workload).cycles
+        tuning = AutoTuner(edge_hw, budget=40, seed=0).tune(scheduler, workload)
+        assert tuning.best_value <= default_cycles
+        assert tuning.num_evaluations <= 40 + 1
+        assert tuning.best_tiling.nq <= workload.seq_q
+
+    def test_tuner_caches_results(self, edge_hw, workload):
+        tuner = AutoTuner(edge_hw, budget=20)
+        first = tuner.tune("mas", workload)
+        second = tuner.tune("mas", workload)
+        assert first is second
+
+    def test_tune_scheduler_convenience(self, edge_hw, workload):
+        result = tune_scheduler("flat", workload, edge_hw, budget=15, strategy="random")
+        assert result.scheduler == "flat" and result.strategy == "random"
+        assert result.best_value < float("inf")
+
+    def test_mcts_ga_history_contains_both_phases(self, edge_hw, workload):
+        tuning = AutoTuner(edge_hw, strategy="mcts+ga", budget=30).tune("mas", workload)
+        phases = {rec.phase for rec in tuning.history.records}
+        assert "mcts" in phases and "ga" in phases

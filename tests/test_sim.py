@@ -1,0 +1,180 @@
+"""Unit tests for :mod:`repro.sim` (task graphs, scheduling engine, traces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.sim.engine import critical_path_cycles, simulate_graph
+from repro.sim.executor import simulate
+from repro.sim.tasks import TaskGraph, TaskKind, dma_resource, mac_resource, vec_resource
+from repro.sim.trace import Trace
+
+
+def build_diamond() -> TaskGraph:
+    """load -> (matmul, softmax in parallel on different units) -> store."""
+    g = TaskGraph(name="diamond")
+    load = g.add("load", TaskKind.LOAD, dma_resource(), 10, dram_bytes_read=80)
+    mm = g.add("mm", TaskKind.MATMUL, mac_resource(0), 100, deps=[load], mac_ops=1000)
+    sm = g.add("sm", TaskKind.SOFTMAX, vec_resource(0), 60, deps=[load], vec_ops=500)
+    g.add("store", TaskKind.STORE, dma_resource(), 10, deps=[mm, sm], dram_bytes_written=80)
+    return g
+
+
+class TestTaskGraph:
+    def test_add_assigns_ids_and_deps(self):
+        g = build_diamond()
+        assert len(g) == 4
+        assert [t.tid for t in g] == [0, 1, 2, 3]
+        assert g[3].deps == (1, 2)
+
+    def test_add_accepts_tasks_or_ids(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.LOAD, dma_resource(), 1)
+        b = g.add("b", TaskKind.MATMUL, mac_resource(0), 1, deps=[a])
+        c = g.add("c", TaskKind.STORE, dma_resource(), 1, deps=[b.tid])
+        assert b.deps == (0,) and c.deps == (1,)
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("bad", TaskKind.LOAD, dma_resource(), 1, deps=[5])
+
+    def test_negative_cycles_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("bad", TaskKind.LOAD, dma_resource(), -1)
+
+    def test_negative_counters_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("bad", TaskKind.LOAD, dma_resource(), 1, dram_bytes_read=-5)
+
+    def test_barrier_is_zero_cost(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.LOAD, dma_resource(), 5)
+        barrier = g.add_barrier("sync", deps=[a])
+        assert barrier.cycles == 0 and barrier.resource == ""
+
+    def test_resources_and_filters(self):
+        g = build_diamond()
+        assert g.resources() == [dma_resource(), mac_resource(0), vec_resource(0)]
+        assert len(g.tasks_on(dma_resource())) == 2
+        assert len(g.by_kind(TaskKind.MATMUL)) == 1
+
+    def test_lower_bound(self):
+        g = build_diamond()
+        assert g.total_cycles_lower_bound() == 100  # the MAC is the busiest resource
+
+
+class TestEngine:
+    def test_dependencies_and_resource_serialization(self):
+        g = build_diamond()
+        trace = simulate_graph(g)
+        recs = {r.task.name: r for r in trace.records}
+        assert recs["load"].start == 0 and recs["load"].finish == 10
+        # Both compute tasks start after the load, on different units, in parallel.
+        assert recs["mm"].start == 10 and recs["sm"].start == 10
+        # The store waits for the slower of the two.
+        assert recs["store"].start == 110
+        assert trace.total_cycles == 120
+
+    def test_same_resource_serializes_in_program_order(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.MATMUL, mac_resource(0), 10)
+        b = g.add("b", TaskKind.MATMUL, mac_resource(0), 10)
+        trace = simulate_graph(g)
+        recs = {r.task.name: r for r in trace.records}
+        assert recs["a"].start == 0 and recs["b"].start == 10
+
+    def test_inorder_unit_respects_program_order_even_if_later_task_ready_first(self):
+        g = TaskGraph()
+        slow_load = g.add("slow_load", TaskKind.LOAD, dma_resource(), 50)
+        first = g.add("first", TaskKind.MATMUL, mac_resource(0), 10, deps=[slow_load])
+        second = g.add("second", TaskKind.MATMUL, mac_resource(0), 10)  # ready at t=0
+        trace = simulate_graph(g)
+        recs = {r.task.name: r for r in trace.records}
+        # "second" was emitted after "first" on the same MAC, so it must not jump ahead.
+        assert recs["first"].start == 50
+        assert recs["second"].start == 60
+
+    def test_dma_is_served_out_of_order(self):
+        g = TaskGraph()
+        mm = g.add("mm", TaskKind.MATMUL, mac_resource(0), 100)
+        g.add("store", TaskKind.STORE, dma_resource(), 10, deps=[mm])
+        g.add("load", TaskKind.LOAD, dma_resource(), 10)  # independent, enqueued later
+        trace = simulate_graph(g)
+        recs = {r.task.name: r for r in trace.records}
+        # The store is not ready until t=100; the load must not be blocked behind it.
+        assert recs["load"].start == 0
+        assert recs["store"].start == 100
+        assert trace.total_cycles == 110
+
+    def test_barrier_completes_at_dependency_finish(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.MATMUL, mac_resource(0), 25)
+        barrier = g.add_barrier("sync", deps=[a])
+        b = g.add("b", TaskKind.SOFTMAX, vec_resource(0), 5, deps=[barrier])
+        trace = simulate_graph(g)
+        recs = {r.task.name: r for r in trace.records}
+        assert recs["sync"].start == 25 and recs["sync"].finish == 25
+        assert recs["b"].start == 25
+
+    def test_empty_graph(self):
+        assert simulate_graph(TaskGraph()).total_cycles == 0
+
+    def test_critical_path_ignores_resources(self):
+        g = TaskGraph()
+        a = g.add("a", TaskKind.MATMUL, mac_resource(0), 10)
+        b = g.add("b", TaskKind.MATMUL, mac_resource(0), 10)
+        c = g.add("c", TaskKind.MATMUL, mac_resource(0), 10, deps=[a, b])
+        assert critical_path_cycles(g) == 20       # a and b in parallel on infinite units
+        assert simulate_graph(g).total_cycles == 30  # but they share one MAC
+
+    def test_makespan_never_beats_critical_path_or_busiest_resource(self):
+        g = build_diamond()
+        trace = simulate_graph(g)
+        assert trace.total_cycles >= critical_path_cycles(g)
+        assert trace.total_cycles >= g.total_cycles_lower_bound()
+
+
+class TestTrace:
+    def test_busy_cycles_and_utilization(self):
+        trace = simulate_graph(build_diamond())
+        assert trace.busy_cycles(mac_resource(0)) == 100
+        assert trace.busy_cycles(dma_resource()) == 20
+        assert trace.utilization(mac_resource(0)) == pytest.approx(100 / 120)
+        assert Trace().utilization("anything") == 0.0
+
+    def test_counters_aggregate_all_tasks(self):
+        trace = simulate_graph(build_diamond())
+        counters = trace.counters()
+        assert counters.dram_bytes_read == 80
+        assert counters.dram_bytes_written == 80
+        assert counters.mac_ops == 1000 and counters.vec_ops == 500
+        assert counters.total_cycles == trace.total_cycles
+
+    def test_overlap_cycles(self):
+        trace = simulate_graph(build_diamond())
+        # mm spans [10, 110), sm spans [10, 70) -> 60 cycles of overlap.
+        assert trace.overlap_cycles(mac_resource(0), vec_resource(0)) == 60
+        assert trace.overlap_cycles(mac_resource(0), "unused") == 0
+
+    def test_count_kind(self):
+        trace = simulate_graph(build_diamond())
+        assert trace.count_kind(TaskKind.LOAD) == 1
+        assert trace.count_kind(TaskKind.BARRIER) == 0
+
+
+class TestExecutorFacade:
+    def test_simulate_produces_result_with_energy(self, edge_hw):
+        graph = build_diamond()
+        result = simulate(graph, edge_hw, scheduler="diamond", workload_name="unit")
+        assert result.cycles == 120
+        assert result.scheduler == "diamond"
+        assert result.hardware_name == edge_hw.name
+        expected = EnergyModel(edge_hw).compute(result.counters).total_pj
+        assert result.energy_pj == pytest.approx(expected)
+        assert result.latency_seconds == pytest.approx(120 / edge_hw.frequency_hz)
+        summary = result.summary()
+        assert summary["cycles"] == 120 and summary["scheduler"] == "diamond"

@@ -1,0 +1,139 @@
+"""Tests for the timeline renderer and the hardware sensitivity sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SWEEPABLE_PARAMETERS,
+    default_sweep_values,
+    run_sensitivity,
+)
+from repro.analysis.timeline import (
+    KIND_SYMBOLS,
+    TimelineOptions,
+    lane_symbols,
+    render_comparison,
+    render_timeline,
+)
+from repro.hardware.presets import simulated_edge_device
+from repro.schedulers import make_scheduler
+from repro.sim.tasks import TaskGraph, TaskKind, dma_resource, mac_resource, vec_resource
+from repro.sim.engine import simulate_graph
+from repro.utils.units import MB
+from repro.workloads.attention import AttentionWorkload
+
+
+@pytest.fixture(scope="module")
+def demo_traces():
+    hw = simulated_edge_device()
+    workload = AttentionWorkload.self_attention(heads=2, seq=256, emb=64, name="timeline-demo")
+    return {
+        name: make_scheduler(name, hw).simulate(workload).trace for name in ("flat", "mas")
+    }
+
+
+class TestLaneSymbols:
+    def test_simple_lane_layout(self):
+        g = TaskGraph()
+        g.add("mm", TaskKind.MATMUL, mac_resource(0), 50)
+        g.add("mm2", TaskKind.MATMUL, mac_resource(0), 50)
+        trace = simulate_graph(g)
+        lane = lane_symbols(trace, mac_resource(0), width=10, total_cycles=100)
+        assert lane == "M" * 10
+        assert lane_symbols(trace, vec_resource(0), 10, 100) == "." * 10
+
+    def test_partial_occupancy_and_idle(self):
+        g = TaskGraph()
+        load = g.add("ld", TaskKind.LOAD, dma_resource(), 50)
+        g.add("sm", TaskKind.SOFTMAX, vec_resource(0), 50, deps=[load])
+        trace = simulate_graph(g)
+        lane = lane_symbols(trace, vec_resource(0), width=10, total_cycles=100)
+        assert lane == "." * 5 + "S" * 5
+
+    def test_zero_total_cycles(self):
+        assert lane_symbols(simulate_graph(TaskGraph()), "x", 8, 0) == "." * 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            lane_symbols(simulate_graph(TaskGraph()), "x", 0, 10)
+
+
+class TestRenderTimeline:
+    def test_contains_all_resources_and_legend(self, demo_traces):
+        text = render_timeline(demo_traces["mas"], TimelineOptions(width=60), title="MAS")
+        assert text.startswith("MAS")
+        for resource in demo_traces["mas"].resources():
+            assert resource in text
+        assert "legend" in text and "M=matmul" in text
+
+    def test_resource_subset_and_no_legend(self, demo_traces):
+        options = TimelineOptions(width=40, resources=("core0.mac",), show_legend=False)
+        text = render_timeline(demo_traces["flat"], options)
+        assert "core0.mac" in text and "core1.mac" not in text
+        assert "legend" not in text
+
+    def test_mas_lane_shows_concurrent_mac_and_vec(self, demo_traces):
+        """In the MAS timeline some bucket has both a MAC symbol and a VEC symbol."""
+        options = TimelineOptions(width=80, show_legend=False)
+        trace = demo_traces["mas"]
+        mac = lane_symbols(trace, "core0.mac", 80, trace.total_cycles)
+        vec = lane_symbols(trace, "core0.vec", 80, trace.total_cycles)
+        both_busy = sum(1 for a, b in zip(mac, vec) if a == "M" and b == "S")
+        assert both_busy > 0
+
+    def test_every_kind_has_a_symbol(self):
+        assert set(KIND_SYMBOLS) == set(TaskKind)
+
+
+class TestRenderComparison:
+    def test_normalized_to_slowest(self, demo_traces):
+        text = render_comparison(demo_traces, TimelineOptions(width=50))
+        assert "flat" in text and "mas" in text
+        assert "100% of slowest" in text
+        assert "legend" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison({})
+
+
+class TestSensitivity:
+    def test_sweepable_parameters(self):
+        assert set(SWEEPABLE_PARAMETERS) == {"l1_bytes", "dram_bytes_per_cycle", "vec_throughput"}
+        with pytest.raises(ValueError):
+            run_sensitivity("frequency", "ViT-B/14", use_search=False)
+
+    def test_default_values_include_baseline(self):
+        hw = simulated_edge_device()
+        for parameter in SWEEPABLE_PARAMETERS:
+            values = default_sweep_values(parameter, hw)
+            assert len(values) >= 4
+
+    def test_vec_throughput_sweep_shape(self):
+        """The MAS advantage peaks near balanced MAC/VEC and shrinks at the extremes."""
+        result = run_sensitivity(
+            "vec_throughput", "ViT-B/14", values=[8, 32, 128], use_search=False
+        )
+        speedups = result.speedups()
+        assert len(speedups) == 3
+        assert all(s >= 1.0 for s in speedups)
+        assert speedups[1] >= speedups[2]  # far-oversized VEC: MAC-bound, gap closes
+
+    def test_dram_bandwidth_sweep(self):
+        """At very low bandwidth every fused dataflow is DMA-bound and the gap closes."""
+        result = run_sensitivity(
+            "dram_bytes_per_cycle", "ViT-B/14", values=[0.5, 8.0], use_search=False
+        )
+        starved, nominal = result.points
+        assert starved.speedup <= nominal.speedup + 0.05
+        assert starved.mas_cycles > nominal.mas_cycles
+
+    def test_l1_sweep_rows_and_format(self):
+        result = run_sensitivity(
+            "l1_bytes", "ViT-B/14", values=[1 * MB, 5 * MB], use_search=False
+        )
+        assert len(result.as_rows()) == 2
+        text = result.format()
+        assert "l1_bytes" in text and "MAS speedup" in text
+        assert result.baseline_value == 5 * MB

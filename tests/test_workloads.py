@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.workloads` (attention shapes, Table 1, SD-1.5 UNet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.networks import NETWORKS, get_network, list_networks, table1_rows
+from repro.workloads.stable_diffusion import sd15_reduced_unet
+
+
+class TestAttentionWorkload:
+    def test_self_attention_constructor(self):
+        wl = AttentionWorkload.self_attention(heads=12, seq=512, emb=64, name="bert")
+        assert wl.seq_q == wl.seq_kv == 512
+        assert wl.name == "bert"
+        assert wl.num_head_blocks == 12
+
+    def test_derived_sizes(self):
+        wl = AttentionWorkload(batch=2, heads=4, seq_q=128, seq_kv=256, emb=32, dtype_bytes=2)
+        assert wl.q_elements == 2 * 4 * 128 * 32
+        assert wl.kv_elements == 2 * 4 * 256 * 32
+        assert wl.score_elements == 2 * 4 * 128 * 256
+        assert wl.q_bytes == wl.q_elements * 2
+        assert wl.input_bytes == wl.q_bytes + wl.k_bytes + wl.v_bytes
+        assert wl.output_bytes == wl.q_bytes
+
+    def test_work_counts(self):
+        wl = AttentionWorkload(batch=1, heads=2, seq_q=64, seq_kv=64, emb=16)
+        assert wl.qk_macs == 2 * 64 * 64 * 16
+        assert wl.pv_macs == wl.qk_macs
+        assert wl.total_macs == 2 * wl.qk_macs
+        assert wl.softmax_elements == wl.score_elements
+
+    def test_with_seq_and_with_batch(self):
+        wl = AttentionWorkload.self_attention(heads=2, seq=64, emb=16)
+        longer = wl.with_seq(256)
+        assert longer.seq_q == longer.seq_kv == 256
+        cross = wl.with_seq(64, 128)
+        assert cross.seq_q == 64 and cross.seq_kv == 128
+        assert wl.with_batch(4).batch == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttentionWorkload(heads=0)
+        with pytest.raises(ValueError):
+            AttentionWorkload(seq_q=-1)
+
+    def test_describe_contains_shape(self):
+        text = AttentionWorkload.self_attention(heads=8, seq=512, emb=128, name="XLM").describe()
+        assert "XLM" in text and "H=8" in text and "Nq=512" in text
+
+
+class TestTable1Registry:
+    def test_all_twelve_networks_present(self):
+        assert len(list_networks()) == 12
+        assert len(NETWORKS) == 12
+
+    @pytest.mark.parametrize(
+        "name, heads, seq, hidden, emb",
+        [
+            ("BERT-Base & T5-Base", 12, 512, 768, 64),
+            ("BERT-Large & T5-Large", 16, 512, 1024, 64),
+            ("BERT-Small", 8, 512, 512, 64),
+            ("Llama3-8B & T5-3B (T5-XL)", 32, 512, 4096, 128),
+            ("T5-Mini & T5-Small", 8, 512, 256, 32),
+            ("ViT-B/14", 12, 196, 768, 64),
+            ("ViT-L/14", 16, 196, 1024, 64),
+            ("ViT-H/14", 16, 196, 1280, 80),
+            ("ViT-B/16", 12, 256, 768, 64),
+            ("ViT-L/16", 16, 256, 1024, 64),
+            ("ViT-H/16", 16, 256, 1280, 80),
+            ("XLM", 8, 512, 1024, 128),
+        ],
+    )
+    def test_table1_values(self, name, heads, seq, hidden, emb):
+        """Every row of Table 1 is reproduced exactly."""
+        cfg = get_network(name)
+        assert (cfg.heads, cfg.seq, cfg.hidden, cfg.emb) == (heads, seq, hidden, emb)
+
+    def test_prefix_lookup(self):
+        assert get_network("BERT-Base").heads == 12
+        assert get_network("llama3").emb == 128
+        with pytest.raises(KeyError):
+            get_network("GPT-7")
+        with pytest.raises(KeyError, match="ambiguous"):
+            get_network("ViT")
+
+    def test_workload_instantiation(self):
+        wl = get_network("XLM").workload(batch=2)
+        assert wl.heads == 8 and wl.seq_q == 512 and wl.emb == 128 and wl.batch == 2
+        assert wl.name == "XLM"
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 12
+        assert set(rows[0]) == {"network", "heads", "seq", "hidden", "emb_kv"}
+
+
+class TestStableDiffusionWorkload:
+    def test_fifteen_units(self):
+        unet = sd15_reduced_unet()
+        assert unet.num_units == 15
+
+    def test_largest_unit_matches_paper(self):
+        """The largest attention layer has 2 heads, N=4096, E=64 (Section 5.2.2)."""
+        largest = sd15_reduced_unet().largest_unit
+        assert largest.heads == 2 and largest.seq == 4096 and largest.emb == 64
+
+    def test_workloads_generated_for_all_units(self):
+        unet = sd15_reduced_unet()
+        workloads = unet.workloads()
+        assert len(workloads) == 15
+        assert all(w.seq_q == w.seq_kv for w in workloads)
+
+    def test_non_attention_fraction_bounds(self):
+        unet = sd15_reduced_unet()
+        assert 0.0 <= unet.non_attention_fraction < 1.0
