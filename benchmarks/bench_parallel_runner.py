@@ -1,0 +1,90 @@
+"""Serial-vs-parallel wall time and cold-vs-warm cache time for the sweep runner.
+
+Runs the same (method, network) tuning+simulation matrix four ways — serial,
+process-pool parallel, cold persistent cache and warm persistent cache —
+checks that all four produce identical results, and reports the wall times.
+The warm-cache sweep is the benchmarked path: it must perform zero search
+evaluations and is the steady state of repeated table/figure regeneration.
+
+Scale knobs: ``MAS_BENCH_BUDGET`` (search budget), ``MAS_BENCH_NETWORKS``
+(network subset; defaults to three Table-1 networks here so the four sweeps
+stay quick) and ``MAS_BENCH_JOBS`` (worker processes for the parallel sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
+
+SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
+_networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
+_networks = [n.strip() for n in _networks_env.split(",") if n.strip()]
+#: Three shape-diverse Table-1 networks keep 4 full sweeps fast by default.
+BENCH_NETWORKS = _networks or ["BERT-Base & T5-Base", "ViT-B/16", "XLM"]
+_jobs = int(os.environ.get("MAS_BENCH_JOBS", "1"))
+PARALLEL_JOBS = _jobs if _jobs > 1 else min(4, os.cpu_count() or 1)
+
+
+def _fingerprint(matrix: dict[str, dict[str, MethodRun]]) -> dict[tuple[str, str], tuple]:
+    return {
+        (network, method): (
+            run.cycles,
+            run.energy_pj,
+            run.tuning.best_tiling if run.tuned else None,
+        )
+        for network, runs in matrix.items()
+        for method, run in runs.items()
+    }
+
+
+def _timed_matrix(runner: ExperimentRunner) -> tuple[float, dict]:
+    start = time.perf_counter()
+    matrix = runner.run_matrix(BENCH_NETWORKS)
+    return time.perf_counter() - start, matrix
+
+
+def test_parallel_runner_and_result_cache(benchmark, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("tuning-cache")
+    kwargs = dict(search_budget=SEARCH_BUDGET, seed=0)
+
+    t_serial, serial = _timed_matrix(ExperimentRunner(**kwargs))
+    t_parallel, parallel = _timed_matrix(ParallelRunner(**kwargs, jobs=PARALLEL_JOBS))
+    t_cold, cold = _timed_matrix(ExperimentRunner(**kwargs, cache_dir=cache_dir))
+
+    warm_runner = ParallelRunner(**kwargs, cache_dir=cache_dir, jobs=PARALLEL_JOBS)
+    t_warm, warm = _timed_matrix(warm_runner)
+    warm_stats = warm_runner.cache_stats()
+
+    reference = _fingerprint(serial)
+    assert _fingerprint(parallel) == reference
+    assert _fingerprint(cold) == reference
+    assert _fingerprint(warm) == reference
+    assert warm_stats["search_evaluations"] == 0
+    assert warm_stats["searches"] == 0
+
+    # Benchmark the steady state: a fresh process hitting a warm cache.
+    result = benchmark.pedantic(
+        lambda: ExperimentRunner(**kwargs, cache_dir=cache_dir).run_matrix(BENCH_NETWORKS),
+        rounds=1,
+        iterations=1,
+    )
+    assert _fingerprint(result) == reference
+
+    print()
+    print(f"matrix: {len(BENCH_NETWORKS)} networks x 6 methods, budget {SEARCH_BUDGET}")
+    print(f"serial            : {t_serial:8.2f} s")
+    print(f"parallel (jobs={PARALLEL_JOBS}) : {t_parallel:8.2f} s")
+    print(f"cold cache        : {t_cold:8.2f} s")
+    print(f"warm cache        : {t_warm:8.2f} s  ({t_serial / max(t_warm, 1e-9):.1f}x vs serial)")
+
+    benchmark.extra_info["serial_s"] = round(t_serial, 3)
+    benchmark.extra_info["parallel_s"] = round(t_parallel, 3)
+    benchmark.extra_info["parallel_jobs"] = PARALLEL_JOBS
+    benchmark.extra_info["cold_cache_s"] = round(t_cold, 3)
+    benchmark.extra_info["warm_cache_s"] = round(t_warm, 3)
+    benchmark.extra_info["warm_speedup_vs_serial"] = round(t_serial / max(t_warm, 1e-9), 2)
+
+    # The warm sweep skips every search; it must beat the cold sweep clearly.
+    assert t_warm < t_cold

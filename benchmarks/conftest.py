@@ -20,7 +20,7 @@ import os
 
 import pytest
 
-from repro.analysis import ExperimentRunner
+from repro.analysis import ExperimentRunner, ParallelRunner
 from repro.hardware.presets import davinci_like_npu
 
 #: Tiling-search budget per (method, network) pair.  The paper runs ~10K
@@ -34,18 +34,31 @@ SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
 _networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
 NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
 
+#: Worker processes for the tuning+simulation matrix (1 = serial) and the
+#: persistent tuning-result cache shared across benchmark sessions.  With
+#: ``MAS_BENCH_CACHE_DIR`` set, a second run of the suite skips every search.
+JOBS = int(os.environ.get("MAS_BENCH_JOBS", "1"))
+CACHE_DIR = os.environ.get("MAS_BENCH_CACHE_DIR") or None
+
 
 @pytest.fixture(scope="session")
 def edge_runner() -> ExperimentRunner:
     """Tuned runs on the paper's simulated edge device (Tables 2/3, Figures 6/7)."""
-    return ExperimentRunner(search_budget=SEARCH_BUDGET, seed=0)
+    return ParallelRunner(
+        search_budget=SEARCH_BUDGET, seed=0, jobs=JOBS, cache_dir=CACHE_DIR
+    )
 
 
 @pytest.fixture(scope="session")
 def npu_runner() -> ExperimentRunner:
     """Grid-searched runs on the DaVinci-like NPU preset (Figure 5)."""
-    return ExperimentRunner(
-        hardware=davinci_like_npu(), search_strategy="grid", search_budget=SEARCH_BUDGET, seed=0
+    return ParallelRunner(
+        hardware=davinci_like_npu(),
+        search_strategy="grid",
+        search_budget=SEARCH_BUDGET,
+        seed=0,
+        jobs=JOBS,
+        cache_dir=CACHE_DIR,
     )
 
 

@@ -76,6 +76,17 @@ def main() -> None:
     ))
     print("\nMAS-Attention should be the fastest method in both tables.")
 
+    # ---------------------------------------------------------------- #
+    # 3. Full sweeps: run the method x network matrix in parallel, with a
+    #    persistent result cache so re-runs skip the search entirely.
+    #    (See docs/parallel_sweeps.md.)
+    # ---------------------------------------------------------------- #
+    print("\nFor full Table-2/3 sweeps, use the parallel runner with a result cache:")
+    print("    from repro.exec import ParallelRunner")
+    print("    from repro.analysis import run_table2")
+    print("    runner = ParallelRunner(jobs=8, cache_dir='~/.cache/mas-attention')")
+    print("    print(run_table2(runner).format())   # warm re-runs do zero searches")
+
 
 if __name__ == "__main__":
     main()

@@ -1,153 +1,18 @@
-"""Shared experiment driver: tune + simulate every (method, network) pair once.
+"""Shared experiment driver — now implemented by :mod:`repro.exec`.
 
-Table 2, Table 3, Figure 6 and Figure 7 all report the *same* runs — each
-method tuned per network and then simulated with its best tiling — so the
-:class:`ExperimentRunner` owns those runs and caches them, and the individual
-harnesses only reshape the cached results into their table/figure form.
+The :class:`ExperimentRunner` that tunes and simulates every (method, network)
+pair moved into the execution layer (:mod:`repro.exec.runner`) when parallel
+sweeps and the persistent result cache were added; this module remains as the
+import path the analysis harnesses and downstream users were written against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.hardware.config import HardwareConfig
-from repro.hardware.presets import simulated_edge_device
-from repro.schedulers.registry import list_schedulers, make_scheduler
-from repro.search.autotuner import AutoTuner, TuningResult
-from repro.sim.trace import SimulationResult
-from repro.workloads.networks import get_network, list_networks
-from repro.utils.validation import check_positive_int
-
-__all__ = ["MethodRun", "ExperimentRunner", "DEFAULT_METHOD_ORDER"]
-
-#: Method order used by the paper's tables (MAS-Attention last).
-DEFAULT_METHOD_ORDER: tuple[str, ...] = (
-    "layerwise",
-    "softpipe",
-    "flat",
-    "tileflow",
-    "fusemax",
-    "mas",
+from repro.exec.runner import (
+    DEFAULT_METHOD_ORDER,
+    ExperimentRunner,
+    MethodRun,
+    ParallelRunner,
 )
 
-
-@dataclass
-class MethodRun:
-    """One tuned-and-simulated (method, network) data point."""
-
-    scheduler: str
-    network: str
-    result: SimulationResult
-    tuning: TuningResult | None = None
-
-    @property
-    def cycles(self) -> int:
-        return self.result.cycles
-
-    @property
-    def energy_pj(self) -> float:
-        return self.result.energy_pj
-
-    @property
-    def tuned(self) -> bool:
-        return self.tuning is not None
-
-
-@dataclass
-class ExperimentRunner:
-    """Runs and caches tuned simulations for a set of methods and networks.
-
-    Parameters
-    ----------
-    hardware:
-        Device preset (the simulated edge device by default).
-    search_budget:
-        Evaluation budget of the tiling search per (method, network) pair.
-        The paper runs ~10K iterations; the default here is far smaller so the
-        benchmark suite finishes in minutes, and the convergence behaviour is
-        already visible (Figure 7 reproduces the trend, not the exact budget).
-    search_strategy:
-        Auto-tuner strategy; ``None`` picks the paper's choice per device
-        (``mcts+ga`` on the simulated edge device, ``grid`` on DaVinci-like).
-    use_search:
-        When false, every method uses its heuristic default tiling instead of
-        searched tilings (fast mode for tests).
-    """
-
-    hardware: HardwareConfig = field(default_factory=simulated_edge_device)
-    search_budget: int = 60
-    search_strategy: str | None = None
-    use_search: bool = True
-    seed: int = 0
-    _tuner: AutoTuner | None = field(default=None, repr=False)
-    _runs: dict[tuple[str, str], MethodRun] = field(default_factory=dict, repr=False)
-
-    def __post_init__(self) -> None:
-        check_positive_int(self.search_budget, "search_budget")
-
-    # ------------------------------------------------------------------ #
-    @property
-    def tuner(self) -> AutoTuner:
-        """The lazily constructed auto-tuner bound to this runner's hardware."""
-        if self._tuner is None:
-            self._tuner = AutoTuner(
-                self.hardware,
-                strategy=self.search_strategy,
-                budget=self.search_budget,
-                seed=self.seed,
-            )
-        return self._tuner
-
-    def methods(self, subset: list[str] | None = None) -> list[str]:
-        """Method names in table order, optionally restricted to ``subset``."""
-        order = [m for m in DEFAULT_METHOD_ORDER if m in list_schedulers()]
-        if subset is None:
-            return order
-        unknown = [m for m in subset if m not in order]
-        if unknown:
-            raise KeyError(f"unknown methods {unknown}; available: {order}")
-        return [m for m in order if m in subset]
-
-    def networks(self, subset: list[str] | None = None) -> list[str]:
-        """Network names in Table-1 order, optionally restricted to ``subset``."""
-        if subset is None:
-            return list_networks()
-        return [get_network(name).name for name in subset]
-
-    # ------------------------------------------------------------------ #
-    def run(self, method: str, network: str) -> MethodRun:
-        """Tune (if enabled) and simulate ``method`` on ``network`` (cached)."""
-        config = get_network(network)
-        key = (method, config.name)
-        if key in self._runs:
-            return self._runs[key]
-
-        workload = config.workload()
-        scheduler = make_scheduler(method, self.hardware)
-        tuning: TuningResult | None = None
-        if self.use_search and scheduler.searchable:
-            tuning = self.tuner.tune(scheduler, workload, budget=self.search_budget)
-            tiling = tuning.best_tiling
-        else:
-            tiling = scheduler.default_tiling(workload)
-        result = scheduler.simulate(workload, tiling)
-        run = MethodRun(scheduler=method, network=config.name, result=result, tuning=tuning)
-        self._runs[key] = run
-        return run
-
-    def run_matrix(
-        self,
-        networks: list[str] | None = None,
-        methods: list[str] | None = None,
-    ) -> dict[str, dict[str, MethodRun]]:
-        """All (network, method) runs as ``{network: {method: MethodRun}}``."""
-        matrix: dict[str, dict[str, MethodRun]] = {}
-        for network in self.networks(networks):
-            matrix[network] = {
-                method: self.run(method, network) for method in self.methods(methods)
-            }
-        return matrix
-
-    def clear(self) -> None:
-        """Drop all cached runs (tuner cache is kept)."""
-        self._runs.clear()
+__all__ = ["MethodRun", "ExperimentRunner", "ParallelRunner", "DEFAULT_METHOD_ORDER"]

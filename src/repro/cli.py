@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
 from repro import __version__, quick_compare
 from repro.analysis import (
     ExperimentRunner,
+    ParallelRunner,
     TimelineOptions,
     format_table,
     render_comparison,
@@ -66,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-search", action="store_true", help="use heuristic tilings only")
         p.add_argument("--networks", nargs="*", default=None, help="subset of Table-1 networks")
         p.add_argument("--json", dest="json_path", default=None, help="also dump results as JSON")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the (method, network) matrix (1 = serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=os.environ.get("MAS_CACHE_DIR") or None,
+            help="persistent tuning-result cache directory (default: $MAS_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent tuning-result cache",
+        )
 
     sub.add_parser("networks", help="print the Table-1 network registry")
 
@@ -116,10 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    return ExperimentRunner(
+    return ParallelRunner(
         hardware=get_preset(args.hardware),
         search_budget=args.budget,
         use_search=not args.no_search,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
     )
 
 

@@ -1,0 +1,29 @@
+"""Sweep execution layer: parallel experiment runs and a persistent result cache.
+
+This package owns *how* experiment matrices get executed, independent of what
+the analysis harnesses do with the results:
+
+* :mod:`repro.exec.pairs` — one (method, network) tune + simulate, with
+  deterministic per-pair seeding, as a picklable unit of work;
+* :mod:`repro.exec.cache` — the on-disk tuning-result cache keyed by a stable
+  hash of hardware, scheduler, workload, strategy, budget, metric and seed;
+* :mod:`repro.exec.runner` — the serial :class:`ExperimentRunner` and the
+  process-pool :class:`ParallelRunner` that produce identical results.
+"""
+
+from repro.exec.cache import CACHE_SCHEMA_VERSION, ResultCache, tuning_cache_key
+from repro.exec.pairs import MethodRun, PairSpec, execute_pair, pair_seed
+from repro.exec.runner import DEFAULT_METHOD_ORDER, ExperimentRunner, ParallelRunner
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "tuning_cache_key",
+    "MethodRun",
+    "PairSpec",
+    "execute_pair",
+    "pair_seed",
+    "DEFAULT_METHOD_ORDER",
+    "ExperimentRunner",
+    "ParallelRunner",
+]

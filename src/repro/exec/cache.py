@@ -1,0 +1,238 @@
+"""Persistent on-disk cache for tuning results.
+
+Every full method x network sweep re-tunes the same points on every process
+start because the auto-tuner's memoization is in-memory only.  This module
+stores each :class:`~repro.search.autotuner.TuningResult` as one JSON file
+keyed by a stable hash of everything that determines the search outcome —
+hardware configuration, scheduler, workload shape, strategy, budget, metric
+and seed — so warm sweeps (and the benchmark suite) skip the search entirely.
+
+Files are written atomically (temp file + :func:`os.replace`), which makes one
+cache directory safe to share between the worker processes of a
+:class:`~repro.exec.runner.ParallelRunner`: concurrent writers of the same key
+produce identical content, and readers never observe a half-written file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core.tiling import TilingConfig
+from repro.hardware.config import HardwareConfig
+from repro.search.autotuner import TuningResult
+from repro.search.history import SearchHistory, SearchRecord
+from repro.search.objective import TilingEvaluation
+from repro.utils.serialization import to_jsonable
+from repro.workloads.attention import AttentionWorkload
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "tuning_cache_key"]
+
+#: Bump whenever the cached payload layout (or the meaning of a key input)
+#: changes; old entries then miss instead of deserializing garbage.
+CACHE_SCHEMA_VERSION = 1
+
+
+def tuning_cache_key(
+    hardware: HardwareConfig,
+    scheduler: str,
+    workload: AttentionWorkload,
+    strategy: str,
+    budget: int,
+    metric: str,
+    seed: int,
+) -> str:
+    """Stable content hash of every input that determines a tuning result.
+
+    The hardware and workload dataclasses are serialized field-by-field, so
+    any change to the device model (L1 size, unit shapes, energy coefficients,
+    ...) or the attention shape produces a different key.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "hardware": to_jsonable(hardware),
+        "scheduler": scheduler,
+        "workload": to_jsonable(workload),
+        "strategy": strategy,
+        "budget": budget,
+        "metric": metric,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# TuningResult <-> JSON
+# ---------------------------------------------------------------------- #
+def _evaluation_to_dict(evaluation: TilingEvaluation) -> dict[str, Any]:
+    return {
+        "tiling": evaluation.tiling.as_dict(),
+        "feasible": evaluation.feasible,
+        "cycles": evaluation.cycles,
+        "energy_pj": evaluation.energy_pj,
+        "value": evaluation.value,
+    }
+
+
+def _evaluation_from_dict(data: dict[str, Any]) -> TilingEvaluation:
+    # The attached SimulationResult (if any) is deliberately not persisted:
+    # it is large, and every consumer re-simulates the best tiling anyway.
+    return TilingEvaluation(
+        tiling=TilingConfig(**data["tiling"]),
+        feasible=bool(data["feasible"]),
+        cycles=int(data["cycles"]),
+        energy_pj=float(data["energy_pj"]),
+        value=float(data["value"]),
+    )
+
+
+def _history_to_dict(history: SearchHistory) -> dict[str, Any]:
+    return {
+        "algorithm": history.algorithm,
+        "scheduler": history.scheduler,
+        "workload": history.workload,
+        "records": [
+            {
+                "iteration": rec.iteration,
+                "tiling": rec.tiling.as_dict(),
+                "value": rec.value,
+                "best_value": rec.best_value,
+                "phase": rec.phase,
+            }
+            for rec in history.records
+        ],
+        "best": _evaluation_to_dict(history.best) if history.best is not None else None,
+    }
+
+
+def _history_from_dict(data: dict[str, Any]) -> SearchHistory:
+    return SearchHistory(
+        algorithm=data["algorithm"],
+        scheduler=data["scheduler"],
+        workload=data["workload"],
+        records=[
+            SearchRecord(
+                iteration=int(rec["iteration"]),
+                tiling=TilingConfig(**rec["tiling"]),
+                value=float(rec["value"]),
+                best_value=float(rec["best_value"]),
+                phase=rec["phase"],
+            )
+            for rec in data["records"]
+        ],
+        best=_evaluation_from_dict(data["best"]) if data["best"] is not None else None,
+    )
+
+
+def tuning_result_to_dict(result: TuningResult) -> dict[str, Any]:
+    """JSON-ready view of a :class:`TuningResult` (history included)."""
+    return {
+        "scheduler": result.scheduler,
+        "workload": result.workload,
+        "strategy": result.strategy,
+        "best_tiling": result.best_tiling.as_dict(),
+        "best_value": result.best_value,
+        "budget": result.budget,
+        "history": _history_to_dict(result.history) if result.history is not None else None,
+    }
+
+
+def tuning_result_from_dict(data: dict[str, Any]) -> TuningResult:
+    """Rebuild a :class:`TuningResult` written by :func:`tuning_result_to_dict`."""
+    return TuningResult(
+        scheduler=data["scheduler"],
+        workload=data["workload"],
+        strategy=data["strategy"],
+        best_tiling=TilingConfig(**data["best_tiling"]),
+        best_value=float(data["best_value"]),
+        budget=data.get("budget"),
+        history=_history_from_dict(data["history"]) if data["history"] is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The cache itself
+# ---------------------------------------------------------------------- #
+class ResultCache:
+    """Directory-backed tuning-result cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding one ``<key>.json`` file per entry.  ``None``
+        disables the cache entirely (every lookup misses, stores are no-ops),
+        which keeps call sites free of ``if cache`` branching.
+    enabled:
+        Explicit off switch (the ``--no-cache`` CLI flag) that wins even when
+        a directory is configured.
+    """
+
+    def __init__(self, cache_dir: str | Path | None, enabled: bool = True) -> None:
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir is not None else None
+        self.enabled = enabled and self.cache_dir is not None
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> TuningResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        try:
+            payload = json.loads(self._path(key).read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"cache schema {payload.get('schema')!r}")
+            result = tuning_result_from_dict(payload["tuning"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (KeyError, TypeError, ValueError):  # corrupt or stale entry
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: TuningResult) -> Path | None:
+        """Persist ``result`` under ``key`` (atomic write); returns the path."""
+        if not self.enabled:
+            return None
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "tuning": tuning_result_to_dict(result),
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ResultCache(dir={str(self.cache_dir)!r}, enabled={self.enabled}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

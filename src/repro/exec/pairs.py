@@ -1,0 +1,128 @@
+"""One (method, network) tuning + simulation, the unit of sweep execution.
+
+:func:`execute_pair` is the worker both the serial
+:class:`~repro.exec.runner.ExperimentRunner` loop and the process-pool
+:class:`~repro.exec.runner.ParallelRunner` dispatch.  Two properties make the
+fan-out safe:
+
+* **deterministic per-pair seeding** — each pair derives its search seed from
+  the (base seed, method, network) triple with :func:`pair_seed`, so a pair's
+  result never depends on which process executed it or in which order;
+* **self-contained specs** — a :class:`PairSpec` carries everything a worker
+  needs (hardware config, budgets, cache location) and is picklable, so the
+  same function runs unchanged in-process or in a ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exec.cache import ResultCache, tuning_cache_key
+from repro.hardware.config import HardwareConfig
+from repro.schedulers.registry import make_scheduler
+from repro.search.autotuner import AutoTuner, TuningResult, default_strategy
+from repro.search.objective import Metric
+from repro.sim.trace import SimulationResult
+from repro.workloads.networks import get_network
+
+__all__ = ["MethodRun", "PairSpec", "execute_pair", "pair_seed"]
+
+
+def pair_seed(seed: int, method: str, network: str) -> int:
+    """Deterministic search seed for one (method, network) pair.
+
+    Hash-derived (not ``hash()``, which is salted per process) so every
+    process — serial runner, pool worker, a rerun next week — agrees on the
+    seed, while distinct pairs get decorrelated search streams.
+    """
+    digest = hashlib.sha256(f"{seed}:{method}:{network}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class MethodRun:
+    """One tuned-and-simulated (method, network) data point."""
+
+    scheduler: str
+    network: str
+    result: SimulationResult
+    tuning: TuningResult | None = None
+    #: Whether the tuning came from the persistent result cache (no search ran).
+    cached: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return self.result.energy_pj
+
+    @property
+    def tuned(self) -> bool:
+        return self.tuning is not None
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """Picklable description of one (method, network) run.
+
+    ``strategy=None`` means the paper's per-device default; it is resolved
+    here (not in the worker's :class:`AutoTuner`) so the cache key is stable.
+    """
+
+    hardware: HardwareConfig
+    method: str
+    network: str
+    budget: int
+    strategy: str | None = None
+    metric: Metric = "cycles"
+    seed: int = 0
+    use_search: bool = True
+    cache_dir: str | None = None
+    use_cache: bool = True
+
+
+def execute_pair(spec: PairSpec) -> MethodRun:
+    """Tune (cache-aware, if enabled) and simulate one (method, network) pair."""
+    config = get_network(spec.network)
+    workload = config.workload()
+    scheduler = make_scheduler(spec.method, spec.hardware)
+
+    tuning: TuningResult | None = None
+    cached = False
+    if spec.use_search and scheduler.searchable:
+        strategy = spec.strategy or default_strategy(spec.hardware)
+        # scheduler.name, not spec.method: the registry lookup is
+        # case-insensitive, and the seed must not depend on the spelling.
+        seed = pair_seed(spec.seed, scheduler.name, config.name)
+        cache = ResultCache(spec.cache_dir, enabled=spec.use_cache)
+        key = tuning_cache_key(
+            spec.hardware, scheduler.name, workload, strategy, spec.budget, spec.metric, seed
+        )
+        tuning = cache.load(key)
+        if tuning is None:
+            tuner = AutoTuner(
+                spec.hardware,
+                strategy=strategy,
+                budget=spec.budget,
+                metric=spec.metric,
+                seed=seed,
+            )
+            tuning = tuner.tune(scheduler, workload)
+            cache.store(key, tuning)
+        else:
+            cached = True
+        tiling = tuning.best_tiling
+    else:
+        tiling = scheduler.default_tiling(workload)
+
+    result = scheduler.simulate(workload, tiling)
+    return MethodRun(
+        scheduler=scheduler.name,
+        network=config.name,
+        result=result,
+        tuning=tuning,
+        cached=cached,
+    )

@@ -30,10 +30,16 @@ from repro.search.space import TilingSearchSpace
 from repro.utils.validation import check_positive_int, require
 from repro.workloads.attention import AttentionWorkload
 
-__all__ = ["AutoTuner", "TuningResult", "tune_scheduler", "STRATEGIES"]
+__all__ = ["AutoTuner", "TuningResult", "tune_scheduler", "default_strategy", "STRATEGIES"]
 
 #: Strategy names accepted by :class:`AutoTuner`.
 STRATEGIES: tuple[str, ...] = ("mcts+ga", "mcts", "ga", "grid", "random")
+
+
+def default_strategy(hardware: HardwareConfig) -> str:
+    """The paper's strategy choice for ``hardware``: grid search on the
+    DaVinci-like NPU, MCTS + GA everywhere else."""
+    return "grid" if "davinci" in hardware.name else "mcts+ga"
 
 
 @dataclass
@@ -46,10 +52,21 @@ class TuningResult:
     best_tiling: TilingConfig
     best_value: float
     history: SearchHistory = field(repr=False, default=None)  # type: ignore[assignment]
+    #: The evaluation budget this tuning was *asked* for.  May exceed the
+    #: evaluations actually spent when the search exhausted its space early.
+    budget: int | None = None
 
     @property
     def num_evaluations(self) -> int:
         return self.history.num_iterations if self.history is not None else 0
+
+    @property
+    def num_search_evaluations(self) -> int:
+        """Evaluations spent by the search itself, excluding the default-tiling
+        candidate the tuner injects after the search finishes."""
+        if self.history is None:
+            return 0
+        return sum(1 for rec in self.history.records if rec.phase != "default")
 
     @property
     def improvement_factor(self) -> float:
@@ -86,7 +103,7 @@ class AutoTuner:
         mcts_fraction: float = 0.6,
     ) -> None:
         if strategy is None:
-            strategy = "grid" if "davinci" in hardware.name else "mcts+ga"
+            strategy = default_strategy(hardware)
         require(strategy in STRATEGIES, f"unknown strategy {strategy!r}; options: {STRATEGIES}")
         check_positive_int(budget, "budget")
         require(0.0 < mcts_fraction < 1.0, "mcts_fraction must lie in (0, 1)")
@@ -114,10 +131,13 @@ class AutoTuner:
         """
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler, self.hardware)
-        budget = budget or self.budget
+        if budget is None:
+            budget = self.budget
+        check_positive_int(budget, "budget")
         key = (scheduler.name, workload.describe())
-        if use_cache and key in self._cache and self._cache[key].num_evaluations >= budget:
-            return self._cache[key]
+        cached = self._cache.get(key) if use_cache else None
+        if cached is not None and self._satisfies(cached, budget):
+            return cached
 
         objective = SchedulerObjective(scheduler, workload, metric=self.metric)
         space = TilingSearchSpace(workload, self.hardware)
@@ -137,9 +157,23 @@ class AutoTuner:
             best_tiling=history.best.tiling,
             best_value=history.best.value,
             history=history,
+            budget=budget,
         )
         self._cache[key] = result
         return result
+
+    @staticmethod
+    def _satisfies(cached: TuningResult, budget: int) -> bool:
+        """Whether a memoized result covers a request for ``budget`` evaluations.
+
+        Either the search actually spent that many evaluations (the injected
+        default-tiling record does not count), or it was *allowed* at least
+        that many and stopped early because it exhausted its candidate space
+        — re-running it could not evaluate anything new.
+        """
+        if cached.num_search_evaluations >= budget:
+            return True
+        return cached.budget is not None and cached.budget >= budget
 
     # ------------------------------------------------------------------ #
     def _search(

@@ -59,16 +59,25 @@ class SearchHistory:
         return rec
 
     def extend(self, other: "SearchHistory") -> None:
-        """Append another history's records (re-numbering iterations)."""
+        """Append another history's records verbatim (re-numbering iterations).
+
+        Records are carried through unchanged — only the iteration index and
+        the running ``best_value`` are recomputed for the concatenation — and
+        the best *evaluation* object is taken from ``other`` directly, so its
+        cycles/energy stay intact whatever metric produced the values.
+        """
+        best_value = self.best_value
         for rec in other.records:
-            evaluation = TilingEvaluation(
-                tiling=rec.tiling,
-                feasible=rec.value != float("inf"),
-                cycles=int(rec.value) if rec.value != float("inf") else 0,
-                energy_pj=0.0,
-                value=rec.value,
+            best_value = min(best_value, rec.value)
+            self.records.append(
+                SearchRecord(
+                    iteration=len(self.records),
+                    tiling=rec.tiling,
+                    value=rec.value,
+                    best_value=best_value,
+                    phase=rec.phase or other.algorithm,
+                )
             )
-            self.record(evaluation, phase=rec.phase or other.algorithm)
         if other.best is not None and (self.best is None or other.best.better_than(self.best)):
             self.best = other.best
 

@@ -32,6 +32,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table9"])
 
+    def test_exec_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.cache_dir == "/tmp/c" and args.no_cache
+        defaults = build_parser().parse_args(["fig6"])
+        assert defaults.jobs == 1 and not defaults.no_cache
+
 
 class TestCommands:
     def test_networks_lists_table1(self, capsys):

@@ -1,0 +1,228 @@
+"""Tests for the execution layer: pair workers, parallel runner, result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import run_table2
+from repro.exec import (
+    ExperimentRunner,
+    ParallelRunner,
+    PairSpec,
+    ResultCache,
+    execute_pair,
+    pair_seed,
+    tuning_cache_key,
+)
+from repro.hardware.presets import davinci_like_npu, simulated_edge_device
+from repro.search.autotuner import AutoTuner
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.networks import get_network
+
+FAST_NETWORKS = ["ViT-B/14", "ViT-B/16"]
+FAST_METHODS = ["flat", "mas"]
+BUDGET = 6
+
+
+@pytest.fixture
+def workload():
+    return AttentionWorkload.self_attention(heads=4, seq=256, emb=64, name="exec-wl")
+
+
+@pytest.fixture
+def tuning(edge_hw, workload):
+    return AutoTuner(edge_hw, budget=10, seed=3).tune("mas", workload)
+
+
+class TestPairSeed:
+    def test_deterministic_and_decorrelated(self):
+        assert pair_seed(0, "mas", "ViT-B/14") == pair_seed(0, "mas", "ViT-B/14")
+        seeds = {
+            pair_seed(base, method, network)
+            for base in (0, 1)
+            for method in FAST_METHODS
+            for network in FAST_NETWORKS
+        }
+        assert len(seeds) == 8  # every (base, pair) combination gets its own seed
+
+    def test_execute_pair_standalone_matches_runner(self, edge_hw):
+        spec = PairSpec(hardware=edge_hw, method="mas", network="ViT-B/14", budget=BUDGET)
+        run = execute_pair(spec)
+        runner = ExperimentRunner(hardware=edge_hw, search_budget=BUDGET)
+        assert run.cycles == runner.run("mas", "ViT-B/14").cycles
+
+
+class TestParallelMatchesSerial:
+    def test_parallel_matrix_identical_to_serial(self):
+        serial = ExperimentRunner(search_budget=BUDGET, seed=0)
+        parallel = ParallelRunner(search_budget=BUDGET, seed=0, jobs=2)
+        serial_matrix = serial.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        parallel_matrix = parallel.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        assert set(serial_matrix) == set(parallel_matrix)
+        for network in serial_matrix:
+            for method in serial_matrix[network]:
+                a = serial_matrix[network][method]
+                b = parallel_matrix[network][method]
+                assert a.cycles == b.cycles
+                assert a.energy_pj == b.energy_pj
+                assert a.tuning.best_tiling == b.tuning.best_tiling
+                assert a.tuning.best_value == b.tuning.best_value
+
+    def test_jobs_one_takes_serial_path(self):
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=1)
+        matrix = runner.run_matrix(["ViT-B/14"], FAST_METHODS)
+        assert matrix["ViT-B/14"]["mas"].cycles > 0
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_memoized_runs_are_not_resubmitted(self):
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=2)
+        first = runner.run("mas", "ViT-B/14")
+        matrix = runner.run_matrix(["ViT-B/14"], FAST_METHODS)
+        assert matrix["ViT-B/14"]["mas"] is first
+
+
+class TestResultCache:
+    def test_round_trips_tuning_result(self, tmp_path, edge_hw, workload, tuning):
+        cache = ResultCache(tmp_path)
+        key = tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "cycles", 3)
+        assert cache.load(key) is None and cache.misses == 1
+        cache.store(key, tuning)
+        assert len(cache) == 1
+
+        loaded = cache.load(key)
+        assert cache.hits == 1
+        assert loaded.scheduler == tuning.scheduler
+        assert loaded.workload == tuning.workload
+        assert loaded.strategy == tuning.strategy
+        assert loaded.best_tiling == tuning.best_tiling
+        assert loaded.best_value == tuning.best_value
+        assert loaded.budget == tuning.budget == 10
+        assert loaded.num_evaluations == tuning.num_evaluations
+        assert loaded.num_search_evaluations == tuning.num_search_evaluations
+        assert loaded.improvement_factor == tuning.improvement_factor
+        assert loaded.history.algorithm == tuning.history.algorithm
+        assert loaded.history.convergence_curve() == tuning.history.convergence_curve()
+        for got, want in zip(loaded.history.records, tuning.history.records):
+            assert (got.iteration, got.tiling, got.value, got.best_value, got.phase) == (
+                want.iteration,
+                want.tiling,
+                want.value,
+                want.best_value,
+                want.phase,
+            )
+        assert loaded.history.best.tiling == tuning.history.best.tiling
+        assert loaded.history.best.cycles == tuning.history.best.cycles
+        assert loaded.history.best.energy_pj == tuning.history.best.energy_pj
+
+    def test_key_changes_with_every_tuning_parameter(self, edge_hw, workload):
+        base = tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "cycles", 0)
+        variants = [
+            tuning_cache_key(edge_hw, "flat", workload, "mcts+ga", 10, "cycles", 0),
+            tuning_cache_key(edge_hw, "mas", workload.with_seq(128), "mcts+ga", 10, "cycles", 0),
+            tuning_cache_key(edge_hw, "mas", workload, "random", 10, "cycles", 0),
+            tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 11, "cycles", 0),
+            tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "energy", 0),
+            tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "cycles", 1),
+            tuning_cache_key(
+                edge_hw.with_l1_bytes(edge_hw.l1_bytes // 2),
+                "mas", workload, "mcts+ga", 10, "cycles", 0,
+            ),
+            tuning_cache_key(
+                davinci_like_npu(), "mas", workload, "mcts+ga", 10, "cycles", 0
+            ),
+        ]
+        assert base == tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "cycles", 0)
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_disabled_cache_is_inert(self, tmp_path, tuning):
+        for cache in (ResultCache(None), ResultCache(tmp_path, enabled=False)):
+            assert cache.store("k", tuning) is None
+            assert cache.load("k") is None
+            assert len(cache) == 0 and cache.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tuning):
+        cache = ResultCache(tmp_path)
+        cache.store("k", tuning)
+        (tmp_path / "k.json").write_text("not json at all")
+        assert cache.load("k") is None
+        stale = {"schema": -1, "key": "k2", "tuning": {}}
+        (tmp_path / "k2.json").write_text(json.dumps(stale))
+        assert cache.load("k2") is None
+        assert cache.misses == 2
+
+    def test_clear(self, tmp_path, tuning):
+        cache = ResultCache(tmp_path)
+        cache.store("a", tuning)
+        cache.store("b", tuning)
+        assert cache.clear() == 2 and len(cache) == 0
+
+
+class TestWarmCacheSweep:
+    def test_second_table2_invocation_performs_no_search(self, tmp_path):
+        kwargs = dict(search_budget=5, seed=0, cache_dir=tmp_path / "cache")
+        cold_runner = ExperimentRunner(**kwargs)
+        cold = run_table2(cold_runner, networks=["ViT-B/14"])
+        cold_stats = cold_runner.cache_stats()
+        assert cold_stats["cache_hits"] == 0
+        assert cold_stats["searches"] == 5  # fusemax is not searchable
+        assert cold_stats["search_evaluations"] > 0
+
+        warm_runner = ExperimentRunner(**kwargs)
+        warm = run_table2(warm_runner, networks=["ViT-B/14"])
+        warm_stats = warm_runner.cache_stats()
+        assert warm_stats["cache_hits"] == 5
+        assert warm_stats["searches"] == 0
+        assert warm_stats["search_evaluations"] == 0
+        assert all(
+            run.cached
+            for runs in warm_runner.run_matrix(["ViT-B/14"]).values()
+            for run in runs.values()
+            if run.tuned
+        )
+        assert warm.row("ViT-B/14").cycles == cold.row("ViT-B/14").cycles
+
+    def test_no_cache_flag_disables_persistence(self, tmp_path):
+        runner = ExperimentRunner(
+            search_budget=5, cache_dir=tmp_path / "cache", use_cache=False
+        )
+        runner.run("mas", "ViT-B/14")
+        assert not (tmp_path / "cache").exists()
+
+
+class TestRunnerSubsets:
+    def test_networks_rejects_unknown_names(self):
+        runner = ExperimentRunner(use_search=False)
+        with pytest.raises(KeyError):
+            runner.networks(["NotANetwork"])
+
+    def test_networks_dedupes_and_orders_canonically(self):
+        runner = ExperimentRunner(use_search=False)
+        subset = runner.networks(["ViT-B/16", "vit-b/14", "ViT-B/16"])
+        assert subset == ["ViT-B/14", "ViT-B/16"]
+
+    def test_run_canonicalizes_network_names(self):
+        runner = ExperimentRunner(use_search=False)
+        assert runner.run("mas", "vit-b/14") is runner.run("mas", "ViT-B/14")
+        assert runner.run("mas", "ViT-B/14").network == get_network("ViT-B/14").name
+
+    def test_run_canonicalizes_method_names(self):
+        """'MAS' and 'mas' are one pair: same memo entry, seed and result."""
+        runner = ExperimentRunner(search_budget=BUDGET, seed=0)
+        upper = runner.run("MAS", "ViT-B/14")
+        assert upper is runner.run("mas", "ViT-B/14")
+        assert upper.scheduler == "mas"
+        spec_upper = runner.pair_spec("MAS", "ViT-B/14")
+        assert execute_pair(spec_upper).cycles == upper.cycles
+
+
+def test_parallel_runner_defaults_match_experiment_runner():
+    serial = ExperimentRunner()
+    parallel = ParallelRunner()
+    assert parallel.hardware == simulated_edge_device()
+    assert parallel.search_budget == serial.search_budget
+    assert parallel.jobs == 1

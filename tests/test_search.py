@@ -161,6 +161,44 @@ class TestHistory:
         rows = history.as_rows()
         assert len(rows) == len(values) and "best_value" in rows[0]
 
+    def test_extend_carries_evaluations_verbatim(self):
+        """Concatenating phase histories must not fabricate evaluations.
+
+        Under the ``energy``/``edp`` metrics the record values are not cycle
+        counts, so ``extend`` has to keep the original best evaluation (with
+        its real cycles and energy) instead of reconstructing one from the
+        record value.
+        """
+        inf = float("inf")
+        first = SearchHistory(algorithm="mcts")
+        e1 = TilingEvaluation(TilingConfig(nq=32), True, cycles=100, energy_pj=5.0, value=5.0)
+        first.record(e1, phase="mcts")
+        second = SearchHistory(algorithm="ga")
+        e2 = TilingEvaluation(TilingConfig(nq=64), True, cycles=200, energy_pj=3.0, value=3.0)
+        e3 = TilingEvaluation(TilingConfig(nq=16), False, cycles=0, energy_pj=0.0, value=inf)
+        second.record(e2, phase="ga")
+        second.record(e3, phase="ga")
+
+        combined = SearchHistory(algorithm="mcts+ga")
+        combined.extend(first)
+        combined.extend(second)
+        assert combined.best is e2  # the original evaluation object, untouched
+        assert combined.best.cycles == 200 and combined.best.energy_pj == 3.0
+        assert [r.iteration for r in combined.records] == [0, 1, 2]
+        assert [r.value for r in combined.records] == [5.0, 3.0, inf]
+        assert [r.best_value for r in combined.records] == [5.0, 3.0, 3.0]
+        assert [r.phase for r in combined.records] == ["mcts", "ga", "ga"]
+        assert combined.best_value == 3.0
+
+    def test_extend_empty_and_unlabelled_phases(self):
+        source = SearchHistory(algorithm="mcts")
+        source.record(TilingEvaluation(TilingConfig(), True, 10, 1.0, 10.0))
+        combined = SearchHistory(algorithm="mcts+ga")
+        combined.extend(SearchHistory(algorithm="ga"))  # empty: no-op
+        assert combined.num_iterations == 0 and combined.best is None
+        combined.extend(source)
+        assert combined.records[0].phase == "mcts"  # falls back to the algorithm name
+
 
 @pytest.mark.parametrize("algorithm_cls", [GridSearch, RandomSearch, MCTSSearch, GeneticSearch])
 class TestAlgorithms:
@@ -208,6 +246,38 @@ class TestAutoTuner:
         first = tuner.tune("mas", workload)
         second = tuner.tune("mas", workload)
         assert first is second
+
+    def test_explicit_budget_is_validated_not_ignored(self, edge_hw, workload):
+        tuner = AutoTuner(edge_hw, budget=30, strategy="random")
+        with pytest.raises(ValueError):
+            tuner.tune("mas", workload, budget=0)
+        small = tuner.tune("mas", workload, budget=3, use_cache=False)
+        assert small.num_search_evaluations == 3  # not the constructor's 30
+
+    def test_cache_hit_requires_full_search_budget(self, edge_hw, workload):
+        """The injected default-tiling record must not count toward the budget."""
+        tuner = AutoTuner(edge_hw, budget=10, strategy="random", seed=0)
+        first = tuner.tune("mas", workload, budget=5)
+        assert first.num_search_evaluations == 5
+        assert first.num_evaluations == 6  # + the default-tiling candidate
+        assert tuner.tune("mas", workload, budget=5) is first
+        # Requesting one more evaluation than the cached search spent must
+        # re-search; previously num_evaluations (6) satisfied budget=6.
+        bigger = tuner.tune("mas", workload, budget=6)
+        assert bigger is not first
+        assert bigger.num_search_evaluations >= 6
+
+    def test_cache_hit_when_search_exhausts_its_space(self, edge_hw):
+        """A search that ran out of candidates below budget is still complete."""
+        from repro.hardware.presets import davinci_like_npu
+
+        tiny = AttentionWorkload.self_attention(heads=2, seq=64, emb=16, name="tiny")
+        tuner = AutoTuner(davinci_like_npu(), strategy="grid", budget=10_000)
+        first = tuner.tune("mas", tiny)
+        assert first.num_search_evaluations < 10_000  # grid exhausted early
+        assert first.budget == 10_000
+        assert tuner.tune("mas", tiny) is first
+        assert tuner.tune("mas", tiny, budget=first.num_search_evaluations + 1) is first
 
     def test_tune_scheduler_convenience(self, edge_hw, workload):
         result = tune_scheduler("flat", workload, edge_hw, budget=15, strategy="random")
