@@ -6,9 +6,15 @@ checks that all four produce identical results, and reports the wall times.
 The warm-cache sweep is the benchmarked path: it must perform zero search
 evaluations and is the steady state of repeated table/figure regeneration.
 
+A second benchmark measures *intra-pair* scaling: one (method, network)
+tuning with a large budget, evaluated candidate-batch-parallel
+(``search_workers``) versus serial, with bit-identical results required.
+
 Scale knobs: ``MAS_BENCH_BUDGET`` (search budget), ``MAS_BENCH_NETWORKS``
 (network subset; defaults to three Table-1 networks here so the four sweeps
-stay quick) and ``MAS_BENCH_JOBS`` (worker processes for the parallel sweep).
+stay quick), ``MAS_BENCH_JOBS`` (worker processes for the parallel sweep),
+``MAS_BENCH_SEARCH_WORKERS`` and ``MAS_BENCH_INTRA_BUDGET`` (intra-pair
+scaling benchmark).
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ import os
 import time
 
 from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
+from repro.hardware.presets import simulated_edge_device
+from repro.search.autotuner import AutoTuner, TuningResult
+from repro.workloads.networks import get_network
 
 SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
 _networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
@@ -25,6 +34,11 @@ _networks = [n.strip() for n in _networks_env.split(",") if n.strip()]
 BENCH_NETWORKS = _networks or ["BERT-Base & T5-Base", "ViT-B/16", "XLM"]
 _jobs = int(os.environ.get("MAS_BENCH_JOBS", "1"))
 PARALLEL_JOBS = _jobs if _jobs > 1 else min(4, os.cpu_count() or 1)
+#: Unset/0 picks an automatic worker count; an explicit 1 pins the
+#: "parallel" run serial (useful for isolating pool overhead).
+_search_workers = int(os.environ.get("MAS_BENCH_SEARCH_WORKERS", "0"))
+SEARCH_WORKERS = _search_workers if _search_workers >= 1 else min(4, os.cpu_count() or 1)
+INTRA_BUDGET = int(os.environ.get("MAS_BENCH_INTRA_BUDGET", "300"))
 
 
 def _fingerprint(matrix: dict[str, dict[str, MethodRun]]) -> dict[tuple[str, str], tuple]:
@@ -88,3 +102,58 @@ def test_parallel_runner_and_result_cache(benchmark, tmp_path_factory):
 
     # The warm sweep skips every search; it must beat the cold sweep clearly.
     assert t_warm < t_cold
+
+
+def _history_rows(result: TuningResult) -> list[tuple]:
+    return [
+        (rec.iteration, rec.tiling, rec.value, rec.best_value, rec.phase)
+        for rec in result.history.records
+    ]
+
+
+def test_intra_pair_search_scaling(benchmark):
+    """One pair, large budget: batched parallel candidate evaluation vs serial.
+
+    GA generations and MCTS rollout batches fan out over a process pool of
+    ``SEARCH_WORKERS`` evaluators; the tuning result (best tiling, every
+    history record) must be bit-identical to the serial run.
+    """
+    hardware = simulated_edge_device()
+    workload = get_network(BENCH_NETWORKS[0]).workload()
+
+    def tune(workers: int) -> tuple[float, TuningResult]:
+        tuner = AutoTuner(
+            hardware,
+            strategy="mcts+ga",
+            budget=INTRA_BUDGET,
+            seed=0,
+            workers=workers,
+            parallel_backend="process",
+            rollout_batch=8,
+        )
+        start = time.perf_counter()
+        result = tuner.tune("mas", workload)
+        return time.perf_counter() - start, result
+
+    t_serial, serial = tune(1)
+    t_parallel, parallel = tune(SEARCH_WORKERS)
+    assert parallel.best_tiling == serial.best_tiling
+    assert parallel.best_value == serial.best_value
+    assert _history_rows(parallel) == _history_rows(serial)
+    assert parallel.objective_evaluations == serial.objective_evaluations
+
+    result = benchmark.pedantic(lambda: tune(SEARCH_WORKERS)[1], rounds=1, iterations=1)
+    assert result.best_value == serial.best_value
+
+    print()
+    print(f"pair: mas / {workload.name}, budget {INTRA_BUDGET}, rollout_batch 8")
+    print(f"serial search (workers=1)        : {t_serial:8.2f} s")
+    print(
+        f"parallel search (workers={SEARCH_WORKERS})      : {t_parallel:8.2f} s  "
+        f"({t_serial / max(t_parallel, 1e-9):.1f}x vs serial)"
+    )
+    benchmark.extra_info["intra_serial_s"] = round(t_serial, 3)
+    benchmark.extra_info["intra_parallel_s"] = round(t_parallel, 3)
+    benchmark.extra_info["search_workers"] = SEARCH_WORKERS
+    benchmark.extra_info["intra_speedup"] = round(t_serial / max(t_parallel, 1e-9), 2)
+    benchmark.extra_info["objective_evaluations"] = serial.objective_evaluations

@@ -40,12 +40,23 @@ NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
 JOBS = int(os.environ.get("MAS_BENCH_JOBS", "1"))
 CACHE_DIR = os.environ.get("MAS_BENCH_CACHE_DIR") or None
 
+#: Candidate-evaluation workers inside each pair's tiling search.  Defaults
+#: to the runner default (which itself honours ``MAS_SEARCH_WORKERS``);
+#: override per benchmark session with ``MAS_BENCH_SEARCH_WORKERS=4``.
+#: Results are bit-identical at any worker count.
+_search_workers = os.environ.get("MAS_BENCH_SEARCH_WORKERS", "").strip()
+SEARCH_WORKERS = int(_search_workers) if _search_workers else None
+
 
 @pytest.fixture(scope="session")
 def edge_runner() -> ExperimentRunner:
     """Tuned runs on the paper's simulated edge device (Tables 2/3, Figures 6/7)."""
     return ParallelRunner(
-        search_budget=SEARCH_BUDGET, seed=0, jobs=JOBS, cache_dir=CACHE_DIR
+        search_budget=SEARCH_BUDGET,
+        seed=0,
+        jobs=JOBS,
+        cache_dir=CACHE_DIR,
+        search_workers=SEARCH_WORKERS,
     )
 
 
@@ -59,6 +70,7 @@ def npu_runner() -> ExperimentRunner:
         seed=0,
         jobs=JOBS,
         cache_dir=CACHE_DIR,
+        search_workers=SEARCH_WORKERS,
     )
 
 

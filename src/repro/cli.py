@@ -7,6 +7,7 @@ Examples
    $ mas-attention networks                 # print Table 1
    $ mas-attention compare BERT-Base        # untuned comparison of all methods
    $ mas-attention table2 --budget 60       # Table 2 (cycles + speedups)
+   $ mas-attention table2 --jobs 4 --search-workers 4 --stream   # parallel + live progress
    $ mas-attention table3                   # Table 3 (energy + savings)
    $ mas-attention fig5                     # Figure 5 (DaVinci-like NPU)
    $ mas-attention fig6                     # Figure 6 (energy breakdown)
@@ -84,6 +85,25 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the persistent tuning-result cache",
         )
+        p.add_argument(
+            "--search-workers",
+            type=int,
+            default=None,
+            help="candidate-evaluation workers inside each pair's tiling search "
+            "(default: $MAS_SEARCH_WORKERS or 1; results are identical at any count)",
+        )
+        p.add_argument(
+            "--search-backend",
+            choices=["thread", "process"],
+            default=None,
+            help="evaluation pool backend (default: $MAS_SEARCH_BACKEND or thread)",
+        )
+        p.add_argument(
+            "--stream",
+            action="store_true",
+            help="print each (method, network) run to stderr as it completes, "
+            "before the final table",
+        )
 
     sub.add_parser("networks", help="print the Table-1 network registry")
 
@@ -133,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     return ParallelRunner(
         hardware=get_preset(args.hardware),
         search_budget=args.budget,
@@ -141,7 +161,25 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         jobs=args.jobs,
+        search_workers=args.search_workers,
+        search_backend=args.search_backend,
     )
+
+
+def _stream_matrix(runner: ExperimentRunner, networks: list[str] | None) -> None:
+    """Pre-run the matrix, printing one stderr line per completed run.
+
+    Every run is memoized on the runner, so the table/figure harness that
+    follows reuses them without re-executing anything.
+    """
+    total = len(runner.networks(networks)) * len(runner.methods())
+    for i, run in enumerate(runner.iter_matrix(networks), start=1):
+        cached = " (cached)" if run.cached else ""
+        print(
+            f"[{i}/{total}] {run.scheduler:<10s} {run.network}: "
+            f"{run.cycles:,} cycles{cached}",
+            file=sys.stderr,
+        )
 
 
 def _emit(text: str, result: object, json_path: str | None) -> None:
@@ -240,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     runner = _make_runner(args)
+    if args.stream:
+        _stream_matrix(runner, args.networks)
     if args.command == "table2":
         result = run_table2(runner, networks=args.networks)
     elif args.command == "table3":

@@ -8,7 +8,9 @@ the analysis harnesses do with the results:
 * :mod:`repro.exec.cache` — the on-disk tuning-result cache keyed by a stable
   hash of hardware, scheduler, workload, strategy, budget, metric and seed;
 * :mod:`repro.exec.runner` — the serial :class:`ExperimentRunner` and the
-  process-pool :class:`ParallelRunner` that produce identical results.
+  process-pool :class:`ParallelRunner` that produce identical results, both
+  with a streaming ``iter_matrix`` API (completed runs yielded as they
+  finish) and intra-pair ``search_workers`` fan-out of candidate evaluation.
 """
 
 from repro.exec.cache import CACHE_SCHEMA_VERSION, ResultCache, tuning_cache_key

@@ -33,7 +33,8 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "tuning_cache_key"]
 
 #: Bump whenever the cached payload layout (or the meaning of a key input)
 #: changes; old entries then miss instead of deserializing garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: payload gained ``objective_evaluations`` (search-work accounting).
+CACHE_SCHEMA_VERSION = 2
 
 
 def tuning_cache_key(
@@ -137,6 +138,7 @@ def tuning_result_to_dict(result: TuningResult) -> dict[str, Any]:
         "best_tiling": result.best_tiling.as_dict(),
         "best_value": result.best_value,
         "budget": result.budget,
+        "objective_evaluations": result.objective_evaluations,
         "history": _history_to_dict(result.history) if result.history is not None else None,
     }
 
@@ -150,6 +152,7 @@ def tuning_result_from_dict(data: dict[str, Any]) -> TuningResult:
         best_tiling=TilingConfig(**data["best_tiling"]),
         best_value=float(data["best_value"]),
         budget=data.get("budget"),
+        objective_evaluations=data.get("objective_evaluations"),
         history=_history_from_dict(data["history"]) if data["history"] is not None else None,
     )
 

@@ -82,6 +82,11 @@ class PairSpec:
     use_search: bool = True
     cache_dir: str | None = None
     use_cache: bool = True
+    #: Intra-search evaluation workers and pool backend.  Deliberately *not*
+    #: part of the tuning cache key: batched evaluation is bit-identical to
+    #: serial, so a result tuned at any worker count serves them all.
+    search_workers: int | None = None
+    search_backend: str | None = None
 
 
 def execute_pair(spec: PairSpec) -> MethodRun:
@@ -109,6 +114,8 @@ def execute_pair(spec: PairSpec) -> MethodRun:
                 budget=spec.budget,
                 metric=spec.metric,
                 seed=seed,
+                workers=spec.search_workers,
+                parallel_backend=spec.search_backend,
             )
             tuning = tuner.tune(scheduler, workload)
             cache.store(key, tuning)

@@ -8,10 +8,16 @@ form.  On top of that this module adds:
 
 * a persistent on-disk result cache (``cache_dir``) so repeated sweeps across
   process starts skip the tiling search entirely;
-* :class:`ParallelRunner`, a drop-in subclass that fans ``run_matrix`` out
-  over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Per-pair seeds are
+* :class:`ParallelRunner`, a drop-in subclass that fans the matrix out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Per-pair seeds are
   derived deterministically (:func:`~repro.exec.pairs.pair_seed`), so parallel
-  results are bit-identical to serial ones.
+  results are bit-identical to serial ones;
+* a streaming sweep API — ``iter_matrix`` yields each completed
+  :class:`MethodRun` as it finishes (``as_completed`` order, or Table-1 order
+  with ``stream=False``) so harnesses can render incrementally;
+* intra-pair parallelism — ``search_workers`` fans the candidate evaluations
+  *inside* each pair's tiling search over a thread/process pool (see
+  :mod:`repro.search.parallel`), again without changing any result.
 """
 
 from __future__ import annotations
@@ -19,12 +25,14 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from repro.exec.pairs import MethodRun, PairSpec, execute_pair
 from repro.hardware.config import HardwareConfig
 from repro.hardware.presets import simulated_edge_device
 from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
+from repro.search.parallel import resolve_backend, resolve_workers
 from repro.utils.validation import check_positive_int
 from repro.workloads.networks import get_network, list_networks
 
@@ -70,6 +78,14 @@ class ExperimentRunner:
         keeps results in-memory only.
     use_cache:
         Off switch for the persistent cache even when ``cache_dir`` is set.
+    search_workers:
+        Candidate-evaluation workers *within* each pair's tiling search;
+        ``None`` defers to ``$MAS_SEARCH_WORKERS`` (default 1).  Tuning
+        results are bit-identical for every worker count, so this composes
+        freely with the persistent cache and with ``ParallelRunner.jobs``.
+    search_backend:
+        Evaluation pool backend (``"thread"``/``"process"``); ``None`` defers
+        to ``$MAS_SEARCH_BACKEND`` (default ``"thread"``).
     """
 
     hardware: HardwareConfig = field(default_factory=simulated_edge_device)
@@ -80,10 +96,16 @@ class ExperimentRunner:
     metric: Metric = "cycles"
     cache_dir: str | Path | None = None
     use_cache: bool = True
+    search_workers: int | None = None
+    search_backend: str | None = None
     _runs: dict[tuple[str, str], MethodRun] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         check_positive_int(self.search_budget, "search_budget")
+        # Fail fast on bad worker/backend settings (explicit or from the
+        # environment) instead of erroring later inside pool workers.
+        resolve_workers(self.search_workers)
+        resolve_backend(self.search_backend)
 
     # ------------------------------------------------------------------ #
     def methods(self, subset: list[str] | None = None) -> list[str]:
@@ -123,6 +145,8 @@ class ExperimentRunner:
             use_search=self.use_search,
             cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
             use_cache=self.use_cache,
+            search_workers=self.search_workers,
+            search_backend=self.search_backend,
         )
 
     def run(self, method: str, network: str) -> MethodRun:
@@ -136,18 +160,42 @@ class ExperimentRunner:
         self._runs[key] = run
         return run
 
+    def iter_matrix(
+        self,
+        networks: list[str] | None = None,
+        methods: list[str] | None = None,
+        stream: bool = True,
+    ) -> Iterator[MethodRun]:
+        """Yield each (method, network) :class:`MethodRun` as it completes.
+
+        The streaming counterpart of :meth:`run_matrix`: every yielded run is
+        memoized exactly as if :meth:`run` had produced it, and the set of
+        runs is identical to the matrix — only the delivery is incremental.
+        The serial runner computes pairs in Table-1 order, so completion
+        order and table order coincide and ``stream`` makes no difference
+        here; :class:`ParallelRunner` overrides this with true
+        ``as_completed`` streaming (and ``stream=False`` as the in-order
+        fallback).
+        """
+        del stream  # serial completion order *is* Table-1 order
+        for network in self.networks(networks):
+            for method in self.methods(methods):
+                yield self.run(method, network)
+
     def run_matrix(
         self,
         networks: list[str] | None = None,
         methods: list[str] | None = None,
     ) -> dict[str, dict[str, MethodRun]]:
         """All (network, method) runs as ``{network: {method: MethodRun}}``."""
-        matrix: dict[str, dict[str, MethodRun]] = {}
-        for network in self.networks(networks):
-            matrix[network] = {
-                method: self.run(method, network) for method in self.methods(methods)
-            }
-        return matrix
+        network_names = self.networks(networks)
+        method_names = self.methods(methods)
+        for _ in self.iter_matrix(network_names, method_names):
+            pass  # drain the stream; every run lands in the memo table
+        return {
+            network: {method: self._runs[(method, network)] for method in method_names}
+            for network in network_names
+        }
 
     def clear(self) -> None:
         """Drop all in-memory runs (the persistent cache is kept)."""
@@ -158,7 +206,10 @@ class ExperimentRunner:
 
         ``search_evaluations`` counts only evaluations actually performed in
         this process — a warm-cache sweep reports zero even though the cached
-        histories carry their original evaluation records.
+        histories carry their original evaluation records.  It reports the
+        objective-level count (every non-memoized candidate, infeasible ones
+        included), not the history length, which double-counts memoized
+        re-visits and used to *under*-count infeasible simulations.
         """
         runs = list(self._runs.values())
         searched = [r for r in runs if r.tuned and not r.cached]
@@ -166,7 +217,12 @@ class ExperimentRunner:
             "runs": len(runs),
             "cache_hits": sum(1 for r in runs if r.cached),
             "searches": len(searched),
-            "search_evaluations": sum(r.tuning.num_evaluations for r in searched),
+            "search_evaluations": sum(
+                r.tuning.objective_evaluations
+                if r.tuning.objective_evaluations is not None
+                else r.tuning.num_evaluations
+                for r in searched
+            ),
         }
 
 
@@ -174,11 +230,12 @@ class ExperimentRunner:
 class ParallelRunner(ExperimentRunner):
     """Drop-in :class:`ExperimentRunner` that executes the matrix in parallel.
 
-    ``run_matrix`` fans the not-yet-memoized (method, network) pairs out over
-    a :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers;
-    ``jobs=1`` (the default) runs serially in-process with no pool overhead.
-    Because every pair is executed by the same :func:`execute_pair` worker
-    with the same derived seed, results are identical to the serial runner.
+    ``iter_matrix``/``run_matrix`` fan the not-yet-memoized (method, network)
+    pairs out over a :class:`~concurrent.futures.ProcessPoolExecutor` with
+    ``jobs`` workers; ``jobs=1`` (the default) runs serially in-process with
+    no pool overhead.  Because every pair is executed by the same
+    :func:`execute_pair` worker with the same derived seed, results are
+    identical to the serial runner.
     """
 
     jobs: int = 1
@@ -187,31 +244,48 @@ class ParallelRunner(ExperimentRunner):
         super().__post_init__()
         check_positive_int(self.jobs, "jobs")
 
-    def run_matrix(
+    def iter_matrix(
         self,
         networks: list[str] | None = None,
         methods: list[str] | None = None,
-    ) -> dict[str, dict[str, MethodRun]]:
+        stream: bool = True,
+    ) -> Iterator[MethodRun]:
+        """Yield completed runs while the pool is still working on the rest.
+
+        With ``stream=True`` already-memoized pairs come first, then fresh
+        runs in completion (``as_completed``) order.  With ``stream=False``
+        the pairs still *execute* in parallel but are yielded in Table-1
+        order, each one as soon as it and all its predecessors are done.
+        """
         network_names = self.networks(networks)
         method_names = self.methods(methods)
-        pending = [
-            (method, network)
-            for network in network_names
-            for method in method_names
-            if (method, network) not in self._runs
-        ]
-        if self.jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(execute_pair, self.pair_spec(method, network)): (method, network)
-                    for method, network in pending
-                }
+        order = [(method, network) for network in network_names for method in method_names]
+        pending = [pair for pair in order if pair not in self._runs]
+        if self.jobs <= 1 or len(pending) <= 1:
+            yield from super().iter_matrix(network_names, method_names, stream=stream)
+            return
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {
+                pool.submit(execute_pair, self.pair_spec(method, network)): (method, network)
+                for method, network in pending
+            }
+            if stream:
+                for pair in order:
+                    if pair in self._runs:
+                        yield self._runs[pair]
                 for future in as_completed(futures):
-                    self._runs[futures[future]] = future.result()
-        else:
-            for method, network in pending:
-                self.run(method, network)
-        return {
-            network: {method: self._runs[(method, network)] for method in method_names}
-            for network in network_names
-        }
+                    run = future.result()
+                    self._runs[futures[future]] = run
+                    yield run
+            else:
+                by_pair = {pair: future for future, pair in futures.items()}
+                for pair in order:
+                    if pair not in self._runs:
+                        self._runs[pair] = by_pair[pair].result()
+                    yield self._runs[pair]
+        finally:
+            # Abandoning the generator early (break / close) must not block
+            # for the whole remaining matrix: drop the not-yet-started pairs
+            # and wait only for the in-flight ones.
+            pool.shutdown(wait=True, cancel_futures=True)

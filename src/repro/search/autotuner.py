@@ -55,6 +55,12 @@ class TuningResult:
     #: The evaluation budget this tuning was *asked* for.  May exceed the
     #: evaluations actually spent when the search exhausted its space early.
     budget: int | None = None
+    #: Non-memoized objective evaluations (simulator runs + footprint
+    #: rejections) the tuning actually performed, infeasible candidates
+    #: included — the real search work, as opposed to the history length,
+    #: which also counts memoized re-visits.  ``None`` on results produced
+    #: before this accounting existed.
+    objective_evaluations: int | None = None
 
     @property
     def num_evaluations(self) -> int:
@@ -91,6 +97,18 @@ class AutoTuner:
         Objective metric (``"cycles"``, ``"energy"`` or ``"edp"``).
     seed:
         Seed for the stochastic searchers.
+    workers:
+        Candidate-evaluation workers *within* the search (GA generations and
+        MCTS rollout batches fan out over them); ``None`` resolves to
+        ``$MAS_SEARCH_WORKERS`` (default 1).  Results are bit-identical for
+        every worker count.
+    parallel_backend:
+        Evaluation pool backend, ``"thread"`` or ``"process"``; ``None``
+        resolves to ``$MAS_SEARCH_BACKEND`` (default ``"thread"``).
+    rollout_batch:
+        Leaf rollouts per MCTS iteration (see :class:`MCTSSearch`).  Unlike
+        ``workers`` this changes the search trajectory, so it defaults to the
+        classic 1 rollout per iteration.
     """
 
     def __init__(
@@ -101,11 +119,15 @@ class AutoTuner:
         metric: Metric = "cycles",
         seed: int = 0,
         mcts_fraction: float = 0.6,
+        workers: int | None = None,
+        parallel_backend: str | None = None,
+        rollout_batch: int = 1,
     ) -> None:
         if strategy is None:
             strategy = default_strategy(hardware)
         require(strategy in STRATEGIES, f"unknown strategy {strategy!r}; options: {STRATEGIES}")
         check_positive_int(budget, "budget")
+        check_positive_int(rollout_batch, "rollout_batch")
         require(0.0 < mcts_fraction < 1.0, "mcts_fraction must lie in (0, 1)")
         self.hardware = hardware
         self.strategy = strategy
@@ -113,6 +135,9 @@ class AutoTuner:
         self.metric = metric
         self.seed = seed
         self.mcts_fraction = mcts_fraction
+        self.workers = workers
+        self.parallel_backend = parallel_backend
+        self.rollout_batch = rollout_batch
         self._cache: dict[tuple[str, str], TuningResult] = {}
 
     # ------------------------------------------------------------------ #
@@ -139,15 +164,24 @@ class AutoTuner:
         if cached is not None and self._satisfies(cached, budget):
             return cached
 
-        objective = SchedulerObjective(scheduler, workload, metric=self.metric)
+        objective = SchedulerObjective(
+            scheduler,
+            workload,
+            metric=self.metric,
+            workers=self.workers,
+            backend=self.parallel_backend,
+        )
         space = TilingSearchSpace(workload, self.hardware)
-        history = self._search(objective, space, budget)
+        try:
+            history = self._search(objective, space, budget)
 
-        # Always consider the scheduler's heuristic default as a candidate: the
-        # search should never return something worse than the untuned tiling
-        # (and if nothing feasible was explored, the default is the fallback).
-        default_eval = objective.evaluate(scheduler.default_tiling(workload))
-        history.record(default_eval, phase="default")
+            # Always consider the scheduler's heuristic default as a candidate:
+            # the search should never return something worse than the untuned
+            # tiling (and if nothing feasible was explored, it is the fallback).
+            default_eval = objective.evaluate(scheduler.default_tiling(workload))
+            history.record(default_eval, phase="default")
+        finally:
+            objective.close()
 
         assert history.best is not None
         result = TuningResult(
@@ -158,6 +192,7 @@ class AutoTuner:
             best_value=history.best.value,
             history=history,
             budget=budget,
+            objective_evaluations=objective.num_evaluations,
         )
         self._cache[key] = result
         return result
@@ -184,14 +219,18 @@ class AutoTuner:
         if self.strategy == "random":
             return RandomSearch(seed=self.seed).run(objective, space, budget=budget)
         if self.strategy == "mcts":
-            return MCTSSearch(seed=self.seed).run(objective, space, budget=budget)
+            return MCTSSearch(seed=self.seed, rollout_batch=self.rollout_batch).run(
+                objective, space, budget=budget
+            )
         if self.strategy == "ga":
             return GeneticSearch(seed=self.seed).run(objective, space, budget=budget)
 
         # mcts+ga: tiling factors from MCTS, compute ordering refined by GA.
         mcts_budget = max(1, int(budget * self.mcts_fraction))
         ga_budget = max(1, budget - mcts_budget)
-        mcts_history = MCTSSearch(seed=self.seed).run(objective, space, budget=mcts_budget)
+        mcts_history = MCTSSearch(seed=self.seed, rollout_batch=self.rollout_batch).run(
+            objective, space, budget=mcts_budget
+        )
 
         ga = GeneticSearch(seed=self.seed + 1)
         if mcts_history.best_tiling is not None:
@@ -216,7 +255,10 @@ def tune_scheduler(
     budget: int = 200,
     metric: Metric = "cycles",
     seed: int = 0,
+    workers: int | None = None,
 ) -> TuningResult:
     """One-shot convenience wrapper around :class:`AutoTuner`."""
-    tuner = AutoTuner(hardware, strategy=strategy, budget=budget, metric=metric, seed=seed)
+    tuner = AutoTuner(
+        hardware, strategy=strategy, budget=budget, metric=metric, seed=seed, workers=workers
+    )
     return tuner.tune(scheduler_name, workload)

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar
+from typing import ClassVar, Sequence
 
 import numpy as np
 
+from repro.core.tiling import TilingConfig
 from repro.search.history import SearchHistory
-from repro.search.objective import SchedulerObjective
+from repro.search.objective import SchedulerObjective, TilingEvaluation
 from repro.search.space import TilingSearchSpace
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_positive_int
@@ -58,6 +59,24 @@ class SearchAlgorithm(ABC):
         history: SearchHistory,
     ) -> None:
         """Algorithm body: evaluate candidates and record them into ``history``."""
+
+    def _evaluate_batch(
+        self,
+        objective: SchedulerObjective,
+        tilings: Sequence[TilingConfig],
+        history: SearchHistory,
+    ) -> list[TilingEvaluation]:
+        """Evaluate one candidate batch and record every result.
+
+        The batch may fan out over the objective's worker pool, but results
+        are recorded in *input* order, so the history (and therefore the best
+        tiling and the Figure-7 curve) is independent of worker count and
+        completion order — bit-identical to evaluating serially.
+        """
+        evaluations = objective.evaluate_batch(tilings)
+        for evaluation in evaluations:
+            history.record(evaluation, phase=self.name)
+        return evaluations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(seed={self.seed})"

@@ -26,7 +26,15 @@ __all__ = ["GeneticSearch"]
 
 
 class GeneticSearch(SearchAlgorithm):
-    """Tournament-selection GA with uniform crossover and point mutation."""
+    """Tournament-selection GA with uniform crossover and point mutation.
+
+    Each generation (and the initial population) is evaluated as one batch
+    through :meth:`SchedulerObjective.evaluate_batch`, so candidate
+    evaluations fan out over the objective's worker pool while the search
+    trajectory stays bit-identical to serial evaluation.  Evaluation budgets
+    smaller than a full generation truncate the batch — never overshoot —
+    and the unevaluated remainder is dropped from selection entirely.
+    """
 
     name = "ga"
 
@@ -63,12 +71,19 @@ class GeneticSearch(SearchAlgorithm):
     ) -> None:
         evaluations = 0
 
-        def evaluate(tiling: TilingConfig) -> float:
+        def evaluate_population(tilings: list[TilingConfig]) -> list[float]:
+            """Evaluate the budget's worth of ``tilings`` as one batch.
+
+            Individuals past the budget cut-off are *not* evaluated and get no
+            fitness at all; callers truncate the population to the returned
+            length so an unevaluated individual can never be ranked as an
+            elite or win a tournament on a placeholder fitness.
+            """
             nonlocal evaluations
-            evaluation = objective.evaluate(tiling)
-            history.record(evaluation, phase=self.name)
-            evaluations += 1
-            return evaluation.value
+            batch = tilings[: budget - evaluations]
+            results = self._evaluate_batch(objective, batch, history)
+            evaluations += len(batch)
+            return [evaluation.value for evaluation in results]
 
         # -------- initial population: seeds + default + random samples ---- #
         population: list[TilingConfig] = list(self.seeds[: self.population_size])
@@ -76,7 +91,8 @@ class GeneticSearch(SearchAlgorithm):
             population.append(space.default())
         while len(population) < self.population_size:
             population.append(space.sample(rng))
-        fitness = [evaluate(t) for t in population]
+        fitness = evaluate_population(population)
+        population = population[: len(fitness)]
 
         # -------------------------- generations --------------------------- #
         while evaluations < budget:
@@ -89,13 +105,8 @@ class GeneticSearch(SearchAlgorithm):
                 if rng.random() < self.mutation_rate:
                     child = space.mutate(child, rng)
                 next_population.append(child)
-            population = next_population
-            fitness = []
-            for tiling in population:
-                if evaluations >= budget:
-                    fitness.append(float("inf"))
-                    continue
-                fitness.append(evaluate(tiling))
+            fitness = evaluate_population(next_population)
+            population = next_population[: len(fitness)]
 
     def _tournament(
         self,

@@ -10,6 +10,8 @@ long sequences).
 
 from __future__ import annotations
 
+from itertools import islice
+
 import numpy as np
 
 from repro.search.base import SearchAlgorithm
@@ -21,7 +23,12 @@ __all__ = ["GridSearch"]
 
 
 class GridSearch(SearchAlgorithm):
-    """Deterministic exhaustive enumeration of the candidate grid."""
+    """Deterministic exhaustive enumeration of the candidate grid.
+
+    The enumeration order is fixed, so the budget's worth of grid points is
+    evaluated as one batch: parallel-friendly, with a history identical to
+    the one-at-a-time loop.
+    """
 
     name = "grid"
 
@@ -33,7 +40,4 @@ class GridSearch(SearchAlgorithm):
         rng: np.random.Generator,
         history: SearchHistory,
     ) -> None:
-        for count, tiling in enumerate(space.enumerate()):
-            if count >= budget:
-                break
-            history.record(objective.evaluate(tiling), phase=self.name)
+        self._evaluate_batch(objective, list(islice(space.enumerate(), budget)), history)

@@ -11,11 +11,12 @@ the searchers steer away from them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence
 
 from repro.core.overwrite import InfeasibleTilingError
 from repro.core.tiling import TilingConfig
 from repro.schedulers.base import AttentionScheduler
+from repro.search.parallel import ParallelEvaluator
 from repro.sim.trace import SimulationResult
 from repro.utils.validation import require
 from repro.workloads.attention import AttentionWorkload
@@ -60,6 +61,13 @@ class SchedulerObjective:
         infeasible outright.  MAS-Attention sets this to true because the
         proactive overwrite strategy handles the overflow (at extra DRAM
         cost); the baselines keep the strict check.
+    workers:
+        Evaluation workers for :meth:`evaluate_batch`; ``None`` resolves to
+        ``$MAS_SEARCH_WORKERS`` (default 1, fully serial).  Results are
+        bit-identical for every worker count.
+    backend:
+        Pool backend, ``"thread"`` or ``"process"``; ``None`` resolves to
+        ``$MAS_SEARCH_BACKEND`` (default ``"thread"``).
     """
 
     def __init__(
@@ -68,6 +76,8 @@ class SchedulerObjective:
         workload: AttentionWorkload,
         metric: Metric = "cycles",
         allow_overflow: bool | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> None:
         require(metric in ("cycles", "energy", "edp"), f"unknown metric {metric!r}")
         self.scheduler = scheduler
@@ -77,7 +87,16 @@ class SchedulerObjective:
             allow_overflow = scheduler.name == "mas"
         self.allow_overflow = allow_overflow
         self._cache: dict[tuple, TilingEvaluation] = {}
+        #: Non-memoized evaluations performed, feasible or not: every distinct
+        #: candidate the search actually paid for (infeasible candidates cost
+        #: a footprint check or a failed simulation — real search work).
         self.num_evaluations = 0
+        self._evaluator = ParallelEvaluator(self, workers=workers, backend=backend)
+
+    @property
+    def workers(self) -> int:
+        """Resolved evaluation worker count (1 = serial)."""
+        return self._evaluator.workers
 
     # ------------------------------------------------------------------ #
     def _key(self, tiling: TilingConfig) -> tuple:
@@ -90,43 +109,72 @@ class SchedulerObjective:
             return float(result.energy_pj)
         return float(result.cycles) * float(result.energy_pj)
 
+    def evaluate_uncached(self, tiling: TilingConfig) -> TilingEvaluation:
+        """Evaluate one candidate directly: no memo lookup, no accounting.
+
+        Pure with respect to ``self`` — safe to call from pool workers.  The
+        memoizing callers (:meth:`evaluate`, :meth:`evaluate_batch`) own the
+        cache insert and the ``num_evaluations`` count.
+        """
+        tiling = tiling.clamp_to(self.workload)
+        if not self.allow_overflow and not self.scheduler.fits(self.workload, tiling):
+            return TilingEvaluation(
+                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
+            )
+        try:
+            result = self.scheduler.simulate(self.workload, tiling)
+        except InfeasibleTilingError:
+            return TilingEvaluation(
+                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
+            )
+        return TilingEvaluation(
+            tiling=tiling,
+            feasible=True,
+            cycles=result.cycles,
+            energy_pj=result.energy_pj,
+            value=self._value(result),
+            result=result,
+        )
+
     def evaluate(self, tiling: TilingConfig) -> TilingEvaluation:
         """Evaluate one candidate (memoized on the tiling factors)."""
         tiling = tiling.clamp_to(self.workload)
         key = self._key(tiling)
         if key in self._cache:
             return self._cache[key]
-
-        feasible = True
-        if not self.allow_overflow and not self.scheduler.fits(self.workload, tiling):
-            evaluation = TilingEvaluation(
-                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
-            )
-            self._cache[key] = evaluation
-            return evaluation
-
-        try:
-            result = self.scheduler.simulate(self.workload, tiling)
-        except InfeasibleTilingError:
-            evaluation = TilingEvaluation(
-                tiling=tiling, feasible=False, cycles=0, energy_pj=0.0, value=float("inf")
-            )
-            self._cache[key] = evaluation
-            return evaluation
-
-        self.num_evaluations += 1
-        evaluation = TilingEvaluation(
-            tiling=tiling,
-            feasible=feasible,
-            cycles=result.cycles,
-            energy_pj=result.energy_pj,
-            value=self._value(result),
-            result=result,
-        )
+        evaluation = self.evaluate_uncached(tiling)
         self._cache[key] = evaluation
+        self.num_evaluations += 1
         return evaluation
 
+    def evaluate_batch(self, tilings: Sequence[TilingConfig]) -> list[TilingEvaluation]:
+        """Evaluate many candidates at once (memoized, optionally in parallel).
+
+        Returns one evaluation per input, aligned with the input order.  Only
+        distinct not-yet-memoized tilings are (re-)evaluated — fanned over the
+        evaluator's pool when ``workers > 1`` — and merged into the memo table
+        in first-occurrence order, so the resulting cache state, evaluation
+        count and returned values are identical to calling :meth:`evaluate`
+        on each tiling serially.
+        """
+        clamped = [tiling.clamp_to(self.workload) for tiling in tilings]
+        pending: dict[tuple, TilingConfig] = {}
+        for tiling in clamped:
+            key = self._key(tiling)
+            if key not in self._cache and key not in pending:
+                pending[key] = tiling
+        if pending:
+            fresh = self._evaluator.evaluate(list(pending.values()))
+            for key, evaluation in zip(pending, fresh):
+                self._cache[key] = evaluation
+                self.num_evaluations += 1
+        return [self._cache[self._key(tiling)] for tiling in clamped]
+
     __call__ = evaluate
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool, if one was ever created."""
+        self._evaluator.close()
 
     @property
     def cache_size(self) -> int:

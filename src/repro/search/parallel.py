@@ -1,0 +1,188 @@
+"""Parallel batch evaluation of tiling candidates (the intra-pair fan-out).
+
+The searchers in this package evaluate *batches* of candidates — a GA
+generation, a round of MCTS leaf rollouts, a slab of the grid — through
+:meth:`~repro.search.objective.SchedulerObjective.evaluate_batch`.  This
+module supplies the evaluator that fans one such batch over a thread or
+process pool, in the same spirit as Timeloop/Accelergy-style mappers that
+keep a pool of cost-model workers busy with candidate mappings.
+
+Determinism is the contract: results come back in submission order, and every
+evaluation is a pure function of the (scheduler, workload, metric, tiling)
+tuple, so a search consuming batched results is bit-identical to the same
+search run serially (``workers=1``) whatever the worker count, backend or
+completion order.
+
+Backends
+--------
+``"thread"`` (default)
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap to spin up and
+    safe to nest inside the :class:`~repro.exec.runner.ParallelRunner`'s
+    worker processes; the simulator is pure Python, so speedups are modest.
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers rebuild
+    the objective once (pool initializer) and then receive bare tilings, so
+    candidates — not schedulers — cross the process boundary per evaluation.
+    Best for large budgets in a single top-level search.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (objective imports us)
+    from repro.core.tiling import TilingConfig
+    from repro.schedulers.base import AttentionScheduler
+    from repro.search.objective import SchedulerObjective, TilingEvaluation
+    from repro.workloads.attention import AttentionWorkload
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "WORKERS_ENV",
+    "ParallelEvaluator",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+#: Environment default for the number of intra-search evaluation workers.
+WORKERS_ENV = "MAS_SEARCH_WORKERS"
+#: Environment default for the evaluation pool backend.
+BACKEND_ENV = "MAS_SEARCH_BACKEND"
+#: Supported pool backends.
+BACKENDS: tuple[str, ...] = ("thread", "process")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``workers`` if given, else ``$MAS_SEARCH_WORKERS``, else 1 (serial)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError as exc:
+            raise ValueError(f"${WORKERS_ENV}={raw!r} is not an integer") from exc
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_backend(backend: str | None) -> str:
+    """``backend`` if given, else ``$MAS_SEARCH_BACKEND``, else ``"thread"``."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or "thread"
+    require(backend in BACKENDS, f"unknown backend {backend!r}; options: {BACKENDS}")
+    return backend
+
+
+# ---------------------------------------------------------------------- #
+# Process-pool worker side.  The initializer rebuilds the objective once per
+# worker; subsequent tasks only ship a TilingConfig each way.
+# ---------------------------------------------------------------------- #
+_WORKER_OBJECTIVE: "SchedulerObjective | None" = None
+
+
+def _init_worker(
+    scheduler: "AttentionScheduler",
+    workload: "AttentionWorkload",
+    metric: str,
+    allow_overflow: bool,
+) -> None:
+    global _WORKER_OBJECTIVE
+    from repro.search.objective import SchedulerObjective
+
+    _WORKER_OBJECTIVE = SchedulerObjective(
+        scheduler, workload, metric=metric, allow_overflow=allow_overflow, workers=1
+    )
+
+
+def _evaluate_in_worker(tiling: "TilingConfig") -> "TilingEvaluation":
+    assert _WORKER_OBJECTIVE is not None, "pool initializer did not run"
+    return _WORKER_OBJECTIVE.evaluate_uncached(tiling)
+
+
+class ParallelEvaluator:
+    """Fans batches of tiling evaluations of one objective over a worker pool.
+
+    The pool is created lazily on the first batch that can use it and reused
+    across batches (one pool per objective, shared by e.g. both phases of an
+    ``mcts+ga`` tuning).  ``workers=1`` — the default everywhere — never
+    creates a pool and evaluates inline, so serial callers pay nothing.
+    """
+
+    def __init__(
+        self,
+        objective: "SchedulerObjective",
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> None:
+        self.objective = objective
+        self.workers = resolve_workers(workers)
+        self.backend = resolve_backend(backend)
+        self._pool: Executor | None = None
+        self._finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.backend == "process":
+                objective = self.objective
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(
+                        objective.scheduler,
+                        objective.workload,
+                        objective.metric,
+                        objective.allow_overflow,
+                    ),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            # Safety net for callers that never close(): shut the pool down
+            # when the evaluator is garbage-collected, so objectives used
+            # outside AutoTuner don't accumulate live worker pools.
+            self._finalizer = weakref.finalize(self, self._pool.shutdown, False)
+        return self._pool
+
+    def evaluate(self, tilings: Sequence["TilingConfig"]) -> list["TilingEvaluation"]:
+        """Evaluate ``tilings`` and return results aligned with the input order.
+
+        Futures are collected in submission order (never ``as_completed``),
+        which is what makes batched search runs bit-identical to serial ones.
+        """
+        if self.workers == 1 or len(tilings) <= 1:
+            return [self.objective.evaluate_uncached(tiling) for tiling in tilings]
+        pool = self._ensure_pool()
+        if self.backend == "process":
+            futures = [pool.submit(_evaluate_in_worker, tiling) for tiling in tilings]
+        else:
+            futures = [
+                pool.submit(self.objective.evaluate_uncached, tiling) for tiling in tilings
+            ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; a later batch re-creates it)."""
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ParallelEvaluator(workers={self.workers}, backend={self.backend!r}, "
+            f"pool={'live' if self._pool is not None else 'idle'})"
+        )

@@ -18,7 +18,13 @@ __all__ = ["RandomSearch"]
 
 
 class RandomSearch(SearchAlgorithm):
-    """Sample candidates uniformly at random from the space."""
+    """Sample candidates uniformly at random from the space.
+
+    Sampling never depends on evaluation results, so the whole budget is
+    drawn up front and evaluated as one batch — the history is identical to
+    the sample-evaluate-sample serial loop, but the evaluations can fan out
+    over the objective's worker pool.
+    """
 
     name = "random"
 
@@ -30,5 +36,4 @@ class RandomSearch(SearchAlgorithm):
         rng: np.random.Generator,
         history: SearchHistory,
     ) -> None:
-        for _ in range(budget):
-            history.record(objective.evaluate(space.sample(rng)), phase=self.name)
+        self._evaluate_batch(objective, [space.sample(rng) for _ in range(budget)], history)

@@ -40,6 +40,20 @@ class TestParser:
         defaults = build_parser().parse_args(["fig6"])
         assert defaults.jobs == 1 and not defaults.no_cache
 
+    def test_search_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--search-workers", "4", "--search-backend", "process", "--stream"]
+        )
+        assert args.search_workers == 4
+        assert args.search_backend == "process"
+        assert args.stream
+        defaults = build_parser().parse_args(["fig7"])
+        assert defaults.search_workers is None
+        assert defaults.search_backend is None
+        assert not defaults.stream
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--search-backend", "fiber"])
+
 
 class TestCommands:
     def test_networks_lists_table1(self, capsys):
@@ -72,6 +86,17 @@ class TestCommands:
         code = main(["dram", "--no-search", "--networks", "ViT-B/14"])
         assert code == 0
         assert "DRAM accesses" in capsys.readouterr().out
+
+    def test_table2_streaming_progress(self, capsys):
+        code = main(
+            ["table2", "--budget", "5", "--networks", "ViT-B/14", "--stream",
+             "--search-workers", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "[1/6]" in captured.err and "[6/6]" in captured.err
+        assert "cycles" in captured.err
 
     def test_timeline_command(self, capsys):
         code = main(["timeline", "ViT-B/14", "--methods", "flat", "mas", "--width", "60"])

@@ -85,6 +85,90 @@ class TestParallelMatchesSerial:
         matrix = runner.run_matrix(["ViT-B/14"], FAST_METHODS)
         assert matrix["ViT-B/14"]["mas"] is first
 
+    def test_search_workers_bit_identical_through_runner(self):
+        serial = ExperimentRunner(search_budget=BUDGET, seed=0)
+        workered = ExperimentRunner(search_budget=BUDGET, seed=0, search_workers=2)
+        for method, network in [("mas", "ViT-B/14"), ("flat", "ViT-B/16")]:
+            a = serial.run(method, network)
+            b = workered.run(method, network)
+            assert a.cycles == b.cycles and a.energy_pj == b.energy_pj
+            assert a.tuning.best_tiling == b.tuning.best_tiling
+            assert a.tuning.objective_evaluations == b.tuning.objective_evaluations
+            assert [r.value for r in a.tuning.history.records] == [
+                r.value for r in b.tuning.history.records
+            ]
+
+
+def _run_keys(runs) -> set[tuple[str, str, int]]:
+    return {(r.scheduler, r.network, r.cycles) for r in runs}
+
+
+def _matrix_keys(matrix) -> set[tuple[str, str, int]]:
+    return {
+        (run.scheduler, run.network, run.cycles)
+        for runs in matrix.values()
+        for run in runs.values()
+    }
+
+
+class TestIterMatrix:
+    """Streaming yields exactly the pairs ``run_matrix`` materializes."""
+
+    def test_serial_streaming_matches_matrix_in_table_order(self):
+        runner = ExperimentRunner(search_budget=BUDGET, seed=0)
+        runs = list(runner.iter_matrix(FAST_NETWORKS, FAST_METHODS))
+        assert [(r.scheduler, r.network) for r in runs] == [
+            (method, network) for network in FAST_NETWORKS for method in FAST_METHODS
+        ]
+        matrix = runner.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        assert _run_keys(runs) == _matrix_keys(matrix)
+
+    @pytest.mark.parametrize("stream", [True, False])
+    def test_parallel_streaming_matches_serial_matrix(self, stream):
+        serial = ExperimentRunner(search_budget=BUDGET, seed=0)
+        reference = _matrix_keys(serial.run_matrix(FAST_NETWORKS, FAST_METHODS))
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=2)
+        runs = list(runner.iter_matrix(FAST_NETWORKS, FAST_METHODS, stream=stream))
+        assert _run_keys(runs) == reference
+        if not stream:  # the fallback preserves Table-1 order
+            assert [(r.scheduler, r.network) for r in runs] == [
+                (method, network) for network in FAST_NETWORKS for method in FAST_METHODS
+            ]
+        # every streamed run is memoized: the matrix afterwards is free
+        assert _matrix_keys(runner.run_matrix(FAST_NETWORKS, FAST_METHODS)) == reference
+
+    def test_streaming_yields_memoized_runs_first(self):
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=2)
+        first = runner.run("mas", "ViT-B/14")
+        runs = list(runner.iter_matrix(FAST_NETWORKS, FAST_METHODS, stream=True))
+        assert runs[0] is first  # memoized pair streams before the pool finishes
+        assert len(runs) == len(FAST_NETWORKS) * len(FAST_METHODS)
+
+    def test_jobs_one_streams_serially(self):
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=1)
+        runs = list(runner.iter_matrix(["ViT-B/14"], FAST_METHODS))
+        assert [(r.scheduler, r.network) for r in runs] == [
+            (method, "ViT-B/14") for method in FAST_METHODS
+        ]
+
+    def test_abandoned_stream_cancels_pending_pairs(self):
+        """Breaking out of the stream must not block on the whole matrix,
+        and the abandoned pairs remain computable afterwards."""
+        runner = ParallelRunner(search_budget=BUDGET, seed=0, jobs=2)
+        iterator = runner.iter_matrix(FAST_NETWORKS, FAST_METHODS, stream=True)
+        first = next(iterator)
+        iterator.close()  # not-yet-started pairs are cancelled, not awaited
+        assert first.cycles > 0
+        serial = ExperimentRunner(search_budget=BUDGET, seed=0)
+        reference = _matrix_keys(serial.run_matrix(FAST_NETWORKS, FAST_METHODS))
+        assert _matrix_keys(runner.run_matrix(FAST_NETWORKS, FAST_METHODS)) == reference
+
+    def test_search_workers_and_backend_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(search_workers=0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(search_backend="fiber")
+
 
 class TestResultCache:
     def test_round_trips_tuning_result(self, tmp_path, edge_hw, workload, tuning):
@@ -102,6 +186,8 @@ class TestResultCache:
         assert loaded.best_tiling == tuning.best_tiling
         assert loaded.best_value == tuning.best_value
         assert loaded.budget == tuning.budget == 10
+        assert loaded.objective_evaluations == tuning.objective_evaluations
+        assert loaded.objective_evaluations is not None
         assert loaded.num_evaluations == tuning.num_evaluations
         assert loaded.num_search_evaluations == tuning.num_search_evaluations
         assert loaded.improvement_factor == tuning.improvement_factor

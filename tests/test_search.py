@@ -11,10 +11,13 @@ from repro.search import (
     GeneticSearch,
     GridSearch,
     MCTSSearch,
+    ParallelEvaluator,
     RandomSearch,
     SchedulerObjective,
     SearchHistory,
     TilingSearchSpace,
+    resolve_backend,
+    resolve_workers,
     tune_scheduler,
 )
 from repro.search.autotuner import STRATEGIES
@@ -144,6 +147,88 @@ class TestObjective:
         b = TilingEvaluation(TilingConfig(), True, 200, 1.0, 200.0)
         assert a.better_than(b) and not b.better_than(a) and a.better_than(None)
 
+    def test_infeasible_evaluations_are_counted_once(self, workload, edge_hw):
+        """Infeasible candidates are real search work: counted when fresh,
+        not counted again when memoized."""
+        tiny = edge_hw.with_l1_bytes(64 * KB)
+        objective = SchedulerObjective(FLATScheduler(tiny), workload)
+        bad = TilingConfig(nq=256, nkv=256, kv_resident=True)
+        evaluation = objective.evaluate(bad)
+        assert not evaluation.feasible
+        assert objective.num_evaluations == 1
+        objective.evaluate(bad)
+        assert objective.num_evaluations == 1  # memoized re-visit is free
+
+
+class TestBatchedEvaluation:
+    def test_batch_matches_serial_order_and_accounting(self, workload, edge_hw):
+        serial = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, workers=1)
+        batched = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, workers=1)
+        tilings = [
+            TilingConfig(nq=64, nkv=64),
+            TilingConfig(nq=32, nkv=64),
+            TilingConfig(nq=64, nkv=64),  # duplicate: must be evaluated once
+            TilingConfig(nq=128, nkv=32),
+        ]
+        expected = [serial.evaluate(t) for t in tilings]
+        got = batched.evaluate_batch(tilings)
+        assert [e.value for e in got] == [e.value for e in expected]
+        assert [e.tiling for e in got] == [e.tiling for e in expected]
+        assert got[0] is got[2]  # one evaluation object for the duplicate
+        assert batched.num_evaluations == serial.num_evaluations == 3
+        assert batched.cache_size == 3
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_batch_bit_identical(self, workload, edge_hw, backend):
+        tilings = [
+            TilingConfig(nq=nq, nkv=nkv, kv_resident=kv)
+            for nq in (32, 64, 128)
+            for nkv in (32, 64)
+            for kv in (False, True)
+        ]
+        results = {}
+        for workers in (1, 4):
+            objective = SchedulerObjective(
+                MASAttentionScheduler(edge_hw), workload, workers=workers, backend=backend
+            )
+            try:
+                batch = objective.evaluate_batch(tilings)
+                results[workers] = (
+                    [(e.tiling, e.value, e.cycles, e.energy_pj, e.feasible) for e in batch],
+                    objective.num_evaluations,
+                )
+            finally:
+                objective.close()
+        assert results[1] == results[4]
+
+    def test_worker_and_backend_resolution(self, workload, edge_hw, monkeypatch):
+        monkeypatch.delenv("MAS_SEARCH_WORKERS", raising=False)
+        monkeypatch.delenv("MAS_SEARCH_BACKEND", raising=False)
+        assert resolve_workers(None) == 1 and resolve_workers(3) == 3
+        assert resolve_backend(None) == "thread" and resolve_backend("process") == "process"
+        monkeypatch.setenv("MAS_SEARCH_WORKERS", "2")
+        monkeypatch.setenv("MAS_SEARCH_BACKEND", "process")
+        assert resolve_workers(None) == 2
+        assert resolve_backend(None) == "process"
+        objective = SchedulerObjective(MASAttentionScheduler(edge_hw), workload)
+        assert objective.workers == 2
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_backend("fiber")
+        monkeypatch.setenv("MAS_SEARCH_WORKERS", "two")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_evaluator_pool_lifecycle(self, workload, edge_hw):
+        objective = SchedulerObjective(MASAttentionScheduler(edge_hw), workload, workers=2)
+        evaluator = ParallelEvaluator(objective, workers=2, backend="thread")
+        with evaluator:
+            batch = evaluator.evaluate([TilingConfig(nq=64, nkv=64), TilingConfig(nq=32, nkv=32)])
+            assert len(batch) == 2 and evaluator._pool is not None
+        assert evaluator._pool is None  # context exit shuts the pool down
+        evaluator.close()  # idempotent
+
 
 class TestHistory:
     def test_best_tracking_and_convergence(self, objective, space):
@@ -223,6 +308,88 @@ class TestSmartSearchBeatsRandom:
             assert history.best_value <= history.first_value
 
 
+def _history_rows(history: SearchHistory) -> list[tuple]:
+    return [
+        (rec.iteration, rec.tiling, rec.value, rec.best_value, rec.phase)
+        for rec in history.records
+    ]
+
+
+class TestIntraPairDeterminism:
+    """GA/MCTS with parallel candidate evaluation are bit-identical to serial."""
+
+    @pytest.mark.parametrize("metric", ["cycles", "energy", "edp"])
+    @pytest.mark.parametrize(
+        "make_search",
+        [
+            lambda: GeneticSearch(seed=0, population_size=8),
+            lambda: MCTSSearch(seed=0, rollout_batch=4),
+        ],
+        ids=["ga", "mcts"],
+    )
+    def test_workers_do_not_change_results(self, workload, edge_hw, space, metric, make_search):
+        outcomes = []
+        for workers in (1, 4):
+            objective = SchedulerObjective(
+                MASAttentionScheduler(edge_hw), workload, metric=metric, workers=workers
+            )
+            try:
+                history = make_search().run(objective, space, budget=20)
+            finally:
+                objective.close()
+            outcomes.append(
+                (_history_rows(history), history.best_tiling, objective.num_evaluations)
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_autotuner_mcts_ga_workers_identical(self, workload, edge_hw):
+        results = []
+        for workers in (1, 4):
+            tuning = AutoTuner(
+                edge_hw, strategy="mcts+ga", budget=24, seed=0, workers=workers
+            ).tune("mas", workload)
+            results.append(
+                (
+                    _history_rows(tuning.history),
+                    tuning.best_tiling,
+                    tuning.best_value,
+                    tuning.objective_evaluations,
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestGABudgetAccounting:
+    def test_initial_population_truncated_at_budget(self, objective, space):
+        """budget < population_size must not overshoot: the initial population
+        used to be evaluated unconditionally."""
+        history = GeneticSearch(seed=0, population_size=16).run(objective, space, budget=5)
+        assert history.num_iterations == 5
+        assert history.best is not None
+
+    @pytest.mark.parametrize("budget", [1, 9, 14])
+    def test_budget_respected_exactly_across_generations(self, workload, edge_hw, space, budget):
+        """Mid-generation expiry: exactly ``budget`` evaluations are recorded
+        and the unevaluated remainder never enters selection (no ``inf``
+        placeholder fitness is ranked as an elite)."""
+        objective = SchedulerObjective(MASAttentionScheduler(edge_hw), workload)
+        history = GeneticSearch(seed=0, population_size=6, elitism=2).run(
+            objective, space, budget=budget
+        )
+        assert history.num_iterations == budget
+        feasible = [rec.value for rec in history.records if rec.value != float("inf")]
+        if feasible:
+            assert history.best_value == min(feasible)
+
+    def test_mcts_rollout_batch_respects_budget(self, objective, space):
+        history = MCTSSearch(seed=0, rollout_batch=4).run(objective, space, budget=10)
+        assert history.num_iterations == 10  # 4 + 4 + 2, truncated final batch
+
+    def test_mcts_rollout_batch_validated(self):
+        with pytest.raises(ValueError):
+            MCTSSearch(rollout_batch=0)
+
+
 class TestAutoTuner:
     def test_strategy_defaults_per_device(self, edge_hw):
         from repro.hardware.presets import davinci_like_npu
@@ -283,6 +450,13 @@ class TestAutoTuner:
         result = tune_scheduler("flat", workload, edge_hw, budget=15, strategy="random")
         assert result.scheduler == "flat" and result.strategy == "random"
         assert result.best_value < float("inf")
+
+    def test_objective_evaluations_recorded(self, edge_hw, workload):
+        """The tuning reports real (non-memoized) search work, which can be
+        below the history length when candidates repeat."""
+        tuning = AutoTuner(edge_hw, budget=15, strategy="random", seed=0).tune("mas", workload)
+        assert tuning.objective_evaluations is not None
+        assert 1 <= tuning.objective_evaluations <= tuning.num_evaluations
 
     def test_mcts_ga_history_contains_both_phases(self, edge_hw, workload):
         tuning = AutoTuner(edge_hw, strategy="mcts+ga", budget=30).tune("mas", workload)
