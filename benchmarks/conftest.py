@@ -47,6 +47,13 @@ CACHE_DIR = os.environ.get("MAS_BENCH_CACHE_DIR") or None
 _search_workers = os.environ.get("MAS_BENCH_SEARCH_WORKERS", "").strip()
 SEARCH_WORKERS = int(_search_workers) if _search_workers else None
 
+#: Workload suite swept by the table/figure benchmarks (``None`` = Table 1).
+#: Inline specs work: ``MAS_BENCH_SUITE="table1@batch=8"`` reruns every
+#: benchmark at serving batch 8, ``MAS_BENCH_SUITE=cross-attention`` sweeps
+#: the encoder-decoder registry.  Remember ``MAS_BENCH_NETWORKS`` must then
+#: name entries of that suite.
+SUITE = os.environ.get("MAS_BENCH_SUITE", "").strip() or None
+
 
 @pytest.fixture(scope="session")
 def edge_runner() -> ExperimentRunner:
@@ -57,6 +64,7 @@ def edge_runner() -> ExperimentRunner:
         jobs=JOBS,
         cache_dir=CACHE_DIR,
         search_workers=SEARCH_WORKERS,
+        suite=SUITE,
     )
 
 
@@ -71,6 +79,7 @@ def npu_runner() -> ExperimentRunner:
         jobs=JOBS,
         cache_dir=CACHE_DIR,
         search_workers=SEARCH_WORKERS,
+        suite=SUITE,
     )
 
 

@@ -18,10 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, resolve_runner, suite_title_suffix
 from repro.hardware.presets import constrained_edge_device
 from repro.utils.units import KB
-from repro.workloads.networks import get_network
 
 __all__ = ["DramRow", "DramAnalysisResult", "run_dram_analysis"]
 
@@ -55,6 +54,7 @@ class DramAnalysisResult:
     standard: list[DramRow] = field(default_factory=list)
     constrained: list[DramRow] = field(default_factory=list)
     constrained_l1_bytes: int = 0
+    suite: str = "table1"
 
     def row(self, network: str, constrained: bool = False) -> DramRow:
         rows = self.constrained if constrained else self.standard
@@ -99,7 +99,8 @@ class DramAnalysisResult:
                 headers,
                 self.as_rows(constrained=False),
                 precision=2,
-                title="Section 5.4: DRAM accesses, standard edge device (5 MB L1)",
+                title="Section 5.4: DRAM accesses, standard edge device (5 MB L1)"
+                + suite_title_suffix(self.suite),
             )
         ]
         if self.constrained:
@@ -154,7 +155,7 @@ def _constrained_rows(
     hardware = constrained_edge_device(l1_bytes)
     rows: list[DramRow] = []
     for name in runner.networks(networks):
-        workload = get_network(name).workload()
+        workload = runner.workload_for(name)
         tiling = overflowing_tiling(workload, hardware)
         mas = MASAttentionScheduler(hardware).simulate(workload, tiling)
         flat = FLATScheduler(hardware).simulate(workload, tiling)
@@ -176,10 +177,16 @@ def run_dram_analysis(
     networks: list[str] | None = None,
     constrained_l1_bytes: int = 256 * KB,
     include_constrained: bool = True,
+    suite: str | None = None,
 ) -> DramAnalysisResult:
-    """Reproduce the Section 5.4 DRAM read/write comparison."""
-    runner = runner or ExperimentRunner()
-    result = DramAnalysisResult(constrained_l1_bytes=constrained_l1_bytes)
+    """Reproduce the Section 5.4 DRAM read/write comparison.
+
+    ``suite`` selects the workload suite when no runner is supplied.
+    """
+    runner = resolve_runner(runner, suite)
+    result = DramAnalysisResult(
+        constrained_l1_bytes=constrained_l1_bytes, suite=runner.suite_name
+    )
     result.standard = _rows_for_runner(runner, networks)
     if include_constrained:
         result.constrained = _constrained_rows(runner, networks, constrained_l1_bytes)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.metrics import geometric_mean, speedup
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, resolve_runner, suite_title_suffix
 from repro.hardware.presets import davinci_like_npu
 
 __all__ = ["Figure5Row", "Figure5Result", "run_figure5", "FIGURE5_METHODS"]
@@ -47,11 +47,12 @@ class Figure5Row:
 
 @dataclass
 class Figure5Result:
-    """The Figure-5 reproduction: one bar group per network."""
+    """The Figure-5 reproduction: one bar group per suite entry."""
 
     rows: list[Figure5Row] = field(default_factory=list)
     methods: list[str] = field(default_factory=list)
     geomean_speedups: dict[str, float] = field(default_factory=dict)
+    suite: str = "table1"
 
     @property
     def networks(self) -> list[str]:
@@ -77,21 +78,27 @@ class Figure5Result:
             headers,
             self.as_rows(),
             precision=3,
-            title="Figure 5: normalized execution time on the DaVinci-like NPU",
+            title="Figure 5: normalized execution time on the DaVinci-like NPU"
+            + suite_title_suffix(self.suite),
         )
 
 
 def run_figure5(
     runner: ExperimentRunner | None = None,
     networks: list[str] | None = None,
+    suite: str | None = None,
 ) -> Figure5Result:
-    """Reproduce Figure 5 using grid-searched tilings on the DaVinci-like preset."""
-    if runner is None:
-        runner = ExperimentRunner(hardware=davinci_like_npu(), search_strategy="grid")
+    """Reproduce Figure 5 using grid-searched tilings on the DaVinci-like preset.
+
+    ``suite`` selects the workload suite when no runner is supplied.
+    """
+    runner = resolve_runner(
+        runner, suite, hardware=davinci_like_npu(), search_strategy="grid"
+    )
     matrix = runner.run_matrix(networks, list(FIGURE5_METHODS))
     methods = runner.methods(list(FIGURE5_METHODS))
 
-    result = Figure5Result(methods=methods)
+    result = Figure5Result(methods=methods, suite=runner.suite_name)
     for network, runs in matrix.items():
         cycles = {m: runs[m].cycles for m in methods}
         baseline = cycles["layerwise"]

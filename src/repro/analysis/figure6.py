@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, resolve_runner, suite_title_suffix
 from repro.hardware.energy import EnergyBreakdown
 
 __all__ = ["Figure6Entry", "Figure6Result", "run_figure6", "COMPONENTS"]
@@ -52,6 +52,7 @@ class Figure6Result:
     entries: list[Figure6Entry] = field(default_factory=list)
     methods: list[str] = field(default_factory=list)
     networks: list[str] = field(default_factory=list)
+    suite: str = "table1"
 
     def entry(self, network: str, method: str) -> Figure6Entry:
         for candidate in self.entries:
@@ -90,7 +91,8 @@ class Figure6Result:
             headers,
             self.as_rows(),
             precision=3,
-            title="Figure 6: energy breakdown by component",
+            title="Figure 6: energy breakdown by component"
+            + suite_title_suffix(self.suite),
         )
 
 
@@ -98,12 +100,18 @@ def run_figure6(
     runner: ExperimentRunner | None = None,
     networks: list[str] | None = None,
     methods: list[str] | None = None,
+    suite: str | None = None,
 ) -> Figure6Result:
-    """Reproduce Figure 6 (reuses the Table 2/3 runs cached in ``runner``)."""
-    runner = runner or ExperimentRunner()
+    """Reproduce Figure 6 (reuses the Table 2/3 runs cached in ``runner``).
+
+    ``suite`` selects the workload suite when no runner is supplied.
+    """
+    runner = resolve_runner(runner, suite)
     matrix = runner.run_matrix(networks, methods)
     result = Figure6Result(
-        methods=runner.methods(methods), networks=list(matrix.keys())
+        methods=runner.methods(methods),
+        networks=list(matrix.keys()),
+        suite=runner.suite_name,
     )
     for network, runs in matrix.items():
         for method in result.methods:

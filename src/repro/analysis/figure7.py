@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, resolve_runner, suite_title_suffix
 from repro.search.history import SearchHistory
 
 __all__ = ["Figure7Series", "Figure7Result", "run_figure7"]
@@ -49,6 +49,7 @@ class Figure7Result:
     series: list[Figure7Series] = field(default_factory=list)
     methods: list[str] = field(default_factory=list)
     networks: list[str] = field(default_factory=list)
+    suite: str = "table1"
 
     def get(self, network: str, method: str) -> Figure7Series:
         for candidate in self.series:
@@ -69,7 +70,8 @@ class Figure7Result:
             headers,
             self.improvement_rows(),
             precision=3,
-            title="Figure 7 / Section 5.5: search convergence and tuning gains",
+            title="Figure 7 / Section 5.5: search convergence and tuning gains"
+            + suite_title_suffix(self.suite),
         )
 
 
@@ -77,15 +79,21 @@ def run_figure7(
     runner: ExperimentRunner | None = None,
     networks: list[str] | None = None,
     methods: list[str] | None = None,
+    suite: str | None = None,
 ) -> Figure7Result:
-    """Reproduce Figure 7 from the tuning histories of the cached runs."""
-    runner = runner or ExperimentRunner()
+    """Reproduce Figure 7 from the tuning histories of the cached runs.
+
+    ``suite`` selects the workload suite when no runner is supplied.
+    """
+    runner = resolve_runner(runner, suite)
     if not runner.use_search:
         raise ValueError("Figure 7 requires the runner to have search enabled")
     matrix = runner.run_matrix(networks, methods)
     method_names = [m for m in runner.methods(methods) if m != "fusemax"]
 
-    result = Figure7Result(methods=method_names, networks=list(matrix.keys()))
+    result = Figure7Result(
+        methods=method_names, networks=list(matrix.keys()), suite=runner.suite_name
+    )
     for network, runs in matrix.items():
         for method in method_names:
             tuning = runs[method].tuning

@@ -11,7 +11,12 @@ from dataclasses import dataclass, field
 
 from repro.analysis.metrics import geometric_mean, speedup
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner, MethodRun
+from repro.analysis.runner import (
+    ExperimentRunner,
+    MethodRun,
+    resolve_runner,
+    suite_title_suffix,
+)
 
 __all__ = ["Table2Row", "Table2Result", "run_table2"]
 
@@ -40,11 +45,12 @@ class Table2Row:
 
 @dataclass
 class Table2Result:
-    """The full Table-2 reproduction."""
+    """The full Table-2 reproduction (any workload suite; Table 1 by default)."""
 
     rows: list[Table2Row] = field(default_factory=list)
     methods: list[str] = field(default_factory=list)
     geomean_speedups: dict[str, float] = field(default_factory=dict)
+    suite: str = "table1"
 
     @property
     def networks(self) -> list[str]:
@@ -91,7 +97,8 @@ class Table2Result:
             headers,
             self.as_rows(),
             precision=3,
-            title="Table 2: cycles and speedups (simulated edge device)",
+            title="Table 2: cycles and speedups (simulated edge device)"
+            + suite_title_suffix(self.suite),
         )
 
 
@@ -99,14 +106,20 @@ def run_table2(
     runner: ExperimentRunner | None = None,
     networks: list[str] | None = None,
     methods: list[str] | None = None,
+    suite: str | None = None,
 ) -> Table2Result:
-    """Reproduce Table 2 on ``runner``'s hardware (simulated edge device by default)."""
-    runner = runner or ExperimentRunner()
+    """Reproduce Table 2 on ``runner``'s hardware (simulated edge device by default).
+
+    ``suite`` selects the workload suite when no runner is supplied (Table 1
+    by default, so the paper's table is bit-identical to before suites
+    existed); a supplied runner already carries its suite.
+    """
+    runner = resolve_runner(runner, suite)
     matrix = runner.run_matrix(networks, methods)
     method_names = runner.methods(methods)
     baselines = [m for m in method_names if m != "mas"]
 
-    result = Table2Result(methods=method_names)
+    result = Table2Result(methods=method_names, suite=runner.suite_name)
     for network, runs in matrix.items():
         cycles = {m: runs[m].cycles for m in method_names}
         speedups = {m: speedup(cycles[m], cycles["mas"]) for m in baselines}

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.metrics import energy_savings_pct, geometric_mean
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, resolve_runner, suite_title_suffix
 
 __all__ = ["Table3Row", "Table3Result", "run_table3"]
 
@@ -41,11 +41,12 @@ class Table3Row:
 
 @dataclass
 class Table3Result:
-    """The full Table-3 reproduction."""
+    """The full Table-3 reproduction (any workload suite; Table 1 by default)."""
 
     rows: list[Table3Row] = field(default_factory=list)
     methods: list[str] = field(default_factory=list)
     geomean_savings_pct: dict[str, float] = field(default_factory=dict)
+    suite: str = "table1"
 
     @property
     def networks(self) -> list[str]:
@@ -84,7 +85,8 @@ class Table3Result:
             headers,
             self.as_rows(),
             precision=2,
-            title="Table 3: energy consumption and savings (simulated edge device)",
+            title="Table 3: energy consumption and savings (simulated edge device)"
+            + suite_title_suffix(self.suite),
         )
 
 
@@ -92,14 +94,18 @@ def run_table3(
     runner: ExperimentRunner | None = None,
     networks: list[str] | None = None,
     methods: list[str] | None = None,
+    suite: str | None = None,
 ) -> Table3Result:
-    """Reproduce Table 3 (reuses the Table 2 runs cached in ``runner``)."""
-    runner = runner or ExperimentRunner()
+    """Reproduce Table 3 (reuses the Table 2 runs cached in ``runner``).
+
+    ``suite`` selects the workload suite when no runner is supplied.
+    """
+    runner = resolve_runner(runner, suite)
     matrix = runner.run_matrix(networks, methods)
     method_names = runner.methods(methods)
     baselines = [m for m in method_names if m != "mas"]
 
-    result = Table3Result(methods=method_names)
+    result = Table3Result(methods=method_names, suite=runner.suite_name)
     for network, runs in matrix.items():
         energy = {m: runs[m].energy_pj for m in method_names}
         savings = {m: energy_savings_pct(energy[m], energy["mas"]) for m in baselines}

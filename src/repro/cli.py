@@ -5,9 +5,14 @@ Examples
 .. code-block:: console
 
    $ mas-attention networks                 # print Table 1
+   $ mas-attention suites                   # list the workload suites
+   $ mas-attention suites cross-attention   # one suite's entries
    $ mas-attention compare BERT-Base        # untuned comparison of all methods
    $ mas-attention table2 --budget 60       # Table 2 (cycles + speedups)
    $ mas-attention table2 --jobs 4 --search-workers 4 --stream   # parallel + live progress
+   $ mas-attention table2 --suite table1-batched                 # batch 4/8/16 sweep
+   $ mas-attention table2 --suite table1 --batch 8               # = table1@batch=8
+   $ mas-attention table3 --suite 'long-context@seq<=8192'       # inline suite spec
    $ mas-attention table3                   # Table 3 (energy + savings)
    $ mas-attention fig5                     # Figure 5 (DaVinci-like NPU)
    $ mas-attention fig6                     # Figure 6 (energy breakdown)
@@ -50,6 +55,7 @@ from repro.hardware.presets import get_preset
 from repro.schedulers.registry import list_schedulers, make_scheduler
 from repro.utils.serialization import dump_json, to_jsonable
 from repro.workloads.networks import get_network, table1_rows
+from repro.workloads.suites import get_suite, list_suites
 
 __all__ = ["main", "build_parser"]
 
@@ -67,7 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--hardware", default=default_hw, help="hardware preset name")
         p.add_argument("--budget", type=int, default=60, help="tiling search budget")
         p.add_argument("--no-search", action="store_true", help="use heuristic tilings only")
-        p.add_argument("--networks", nargs="*", default=None, help="subset of Table-1 networks")
+        p.add_argument(
+            "--networks", nargs="*", default=None, help="subset of suite entries"
+        )
+        p.add_argument(
+            "--suite",
+            default=None,
+            help="workload suite to sweep: table1 (default), table1-batched, "
+            "cross-attention, long-context, or an inline spec such as "
+            "table1@batch=8 or long-context@seq<=8192 (see 'mas-attention suites')",
+        )
+        p.add_argument(
+            "--batch",
+            type=int,
+            default=None,
+            help="re-batch every suite entry (shorthand for @batch=N on --suite)",
+        )
         p.add_argument("--json", dest="json_path", default=None, help="also dump results as JSON")
         p.add_argument(
             "--jobs",
@@ -106,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     sub.add_parser("networks", help="print the Table-1 network registry")
+
+    p = sub.add_parser("suites", help="list workload suites (or one suite's entries)")
+    p.add_argument(
+        "spec", nargs="?", default=None, help="suite name or inline spec to expand"
+    )
 
     p = sub.add_parser("compare", help="untuned comparison of all methods on one network")
     p.add_argument("network", help="Table-1 network name (prefix match)")
@@ -153,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _suite_spec(args: argparse.Namespace) -> str:
+    """The suite spec the runner should sweep (``--suite`` plus ``--batch``)."""
+    spec = args.suite or "table1"
+    if args.batch is not None:
+        spec = f"{spec}@batch={args.batch}"
+    return spec
+
+
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     return ParallelRunner(
         hardware=get_preset(args.hardware),
@@ -163,6 +197,7 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
         jobs=args.jobs,
         search_workers=args.search_workers,
         search_backend=args.search_backend,
+        suite=_suite_spec(args),
     )
 
 
@@ -196,6 +231,32 @@ def _emit(text: str, result: object, json_path: str | None) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "suites":
+        if args.spec:
+            suite = get_suite(args.spec)
+            print(
+                format_table(
+                    ["Entry", "B", "#Heads", "SeqQ", "SeqKV", "Emb"],
+                    [
+                        [r["entry"], r["batch"], r["heads"], r["seq_q"], r["seq_kv"], r["emb"]]
+                        for r in suite.rows()
+                    ],
+                    title=f"Suite {suite.name}: {suite.description}",
+                )
+            )
+        else:
+            print(
+                format_table(
+                    ["Suite", "#Entries", "Description"],
+                    [
+                        [s.name, len(s), s.description]
+                        for s in (get_suite(name) for name in list_suites())
+                    ],
+                    title="Built-in workload suites (inline specs: name@batch=N, name@seq<=N)",
+                )
+            )
+        return 0
 
     if args.command == "networks":
         rows = table1_rows()

@@ -11,11 +11,16 @@ the analysis harnesses do with the results:
   process-pool :class:`ParallelRunner` that produce identical results, both
   with a streaming ``iter_matrix`` API (completed runs yielded as they
   finish) and intra-pair ``search_workers`` fan-out of candidate evaluation.
+
+Runners sweep a :class:`~repro.workloads.suites.WorkloadSuite` (``suite=``;
+Table 1 by default), so every harness can run batched, cross-attention or
+long-context registries through the exact same machinery.
 """
 
 from repro.exec.cache import CACHE_SCHEMA_VERSION, ResultCache, tuning_cache_key
 from repro.exec.pairs import MethodRun, PairSpec, execute_pair, pair_seed
 from repro.exec.runner import DEFAULT_METHOD_ORDER, ExperimentRunner, ParallelRunner
+from repro.workloads.suites import WorkloadSuite, get_suite, list_suites
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -28,4 +33,7 @@ __all__ = [
     "DEFAULT_METHOD_ORDER",
     "ExperimentRunner",
     "ParallelRunner",
+    "WorkloadSuite",
+    "get_suite",
+    "list_suites",
 ]

@@ -50,7 +50,12 @@ def tuning_cache_key(
 
     The hardware and workload dataclasses are serialized field-by-field, so
     any change to the device model (L1 size, unit shapes, energy coefficients,
-    ...) or the attention shape produces a different key.
+    ...) or the attention shape — batch, heads, either sequence length, emb,
+    dtype — produces a different key.  The key takes the *full workload*, not
+    a suite entry name: suites that derive identical entries (same shape, same
+    deterministic name, hence the same per-pair seed) share cache files, so a
+    result tuned under ``table1@batch=8`` is a warm hit for the batch-8 third
+    of ``table1-batched`` and vice versa.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,

@@ -1,4 +1,4 @@
-"""One (method, network) tuning + simulation, the unit of sweep execution.
+"""One (method, workload-entry) tuning + simulation, the unit of sweep execution.
 
 :func:`execute_pair` is the worker both the serial
 :class:`~repro.exec.runner.ExperimentRunner` loop and the process-pool
@@ -6,11 +6,17 @@
 fan-out safe:
 
 * **deterministic per-pair seeding** — each pair derives its search seed from
-  the (base seed, method, network) triple with :func:`pair_seed`, so a pair's
-  result never depends on which process executed it or in which order;
+  the (base seed, method, entry name) triple with :func:`pair_seed`, so a
+  pair's result never depends on which process executed it or in which order;
 * **self-contained specs** — a :class:`PairSpec` carries everything a worker
-  needs (hardware config, budgets, cache location) and is picklable, so the
-  same function runs unchanged in-process or in a ``ProcessPoolExecutor``.
+  needs (hardware config, the workload itself, budgets, cache location) and is
+  picklable, so the same function runs unchanged in-process or in a
+  ``ProcessPoolExecutor``.
+
+A spec names any entry of a :class:`~repro.workloads.suites.WorkloadSuite` and
+carries the entry's :class:`~repro.workloads.attention.AttentionWorkload`
+directly; ``workload=None`` keeps the historical behaviour of resolving
+``network`` against the Table-1 registry.
 """
 
 from __future__ import annotations
@@ -24,17 +30,22 @@ from repro.schedulers.registry import make_scheduler
 from repro.search.autotuner import AutoTuner, TuningResult, default_strategy
 from repro.search.objective import Metric
 from repro.sim.trace import SimulationResult
+from repro.workloads.attention import AttentionWorkload
 from repro.workloads.networks import get_network
 
 __all__ = ["MethodRun", "PairSpec", "execute_pair", "pair_seed"]
 
 
 def pair_seed(seed: int, method: str, network: str) -> int:
-    """Deterministic search seed for one (method, network) pair.
+    """Deterministic search seed for one (method, workload-entry) pair.
 
-    Hash-derived (not ``hash()``, which is salted per process) so every
-    process — serial runner, pool worker, a rerun next week — agrees on the
-    seed, while distinct pairs get decorrelated search streams.
+    ``network`` is the suite entry name (a Table-1 network name in the default
+    suite).  Hash-derived (not ``hash()``, which is salted per process) so
+    every process — serial runner, pool worker, a rerun next week — agrees on
+    the seed, while distinct pairs get decorrelated search streams.  Suites
+    that derive the same entry (same deterministic name, same workload) from
+    different bases therefore also agree on the seed, which is what makes
+    cross-suite cache reuse exact rather than approximate.
     """
     digest = hashlib.sha256(f"{seed}:{method}:{network}".encode()).digest()
     return int.from_bytes(digest[:4], "big")
@@ -42,7 +53,11 @@ def pair_seed(seed: int, method: str, network: str) -> int:
 
 @dataclass
 class MethodRun:
-    """One tuned-and-simulated (method, network) data point."""
+    """One tuned-and-simulated (method, workload-entry) data point.
+
+    ``network`` is the suite entry name — a Table-1 network name in the
+    default suite, a derived name like ``"ViT-B/14 @b8"`` elsewhere.
+    """
 
     scheduler: str
     network: str
@@ -66,7 +81,7 @@ class MethodRun:
 
 @dataclass(frozen=True)
 class PairSpec:
-    """Picklable description of one (method, network) run.
+    """Picklable description of one (method, workload-entry) run.
 
     ``strategy=None`` means the paper's per-device default; it is resolved
     here (not in the worker's :class:`AutoTuner`) so the cache key is stable.
@@ -74,6 +89,7 @@ class PairSpec:
 
     hardware: HardwareConfig
     method: str
+    #: Suite entry name (a Table-1 network name in the default suite).
     network: str
     budget: int
     strategy: str | None = None
@@ -87,12 +103,21 @@ class PairSpec:
     #: serial, so a result tuned at any worker count serves them all.
     search_workers: int | None = None
     search_backend: str | None = None
+    #: The entry's attention workload.  ``None`` resolves ``network`` against
+    #: the Table-1 registry (the historical behaviour, and still what bare
+    #: network names mean outside any suite).
+    workload: AttentionWorkload | None = None
 
 
 def execute_pair(spec: PairSpec) -> MethodRun:
-    """Tune (cache-aware, if enabled) and simulate one (method, network) pair."""
-    config = get_network(spec.network)
-    workload = config.workload()
+    """Tune (cache-aware, if enabled) and simulate one (method, entry) pair."""
+    if spec.workload is not None:
+        workload = spec.workload
+        entry_name = spec.network or workload.name
+    else:
+        config = get_network(spec.network)
+        workload = config.workload()
+        entry_name = config.name
     scheduler = make_scheduler(spec.method, spec.hardware)
 
     tuning: TuningResult | None = None
@@ -101,7 +126,7 @@ def execute_pair(spec: PairSpec) -> MethodRun:
         strategy = spec.strategy or default_strategy(spec.hardware)
         # scheduler.name, not spec.method: the registry lookup is
         # case-insensitive, and the seed must not depend on the spelling.
-        seed = pair_seed(spec.seed, scheduler.name, config.name)
+        seed = pair_seed(spec.seed, scheduler.name, entry_name)
         cache = ResultCache(spec.cache_dir, enabled=spec.use_cache)
         key = tuning_cache_key(
             spec.hardware, scheduler.name, workload, strategy, spec.budget, spec.metric, seed
@@ -128,7 +153,7 @@ def execute_pair(spec: PairSpec) -> MethodRun:
     result = scheduler.simulate(workload, tiling)
     return MethodRun(
         scheduler=scheduler.name,
-        network=config.name,
+        network=entry_name,
         result=result,
         tuning=tuning,
         cached=cached,

@@ -34,7 +34,8 @@ from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
 from repro.search.parallel import resolve_backend, resolve_workers
 from repro.utils.validation import check_positive_int
-from repro.workloads.networks import get_network, list_networks
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.suites import WorkloadSuite, get_suite
 
 __all__ = ["MethodRun", "ExperimentRunner", "ParallelRunner", "DEFAULT_METHOD_ORDER"]
 
@@ -86,6 +87,12 @@ class ExperimentRunner:
     search_backend:
         Evaluation pool backend (``"thread"``/``"process"``); ``None`` defers
         to ``$MAS_SEARCH_BACKEND`` (default ``"thread"``).
+    suite:
+        The workload suite swept by this runner: a
+        :class:`~repro.workloads.suites.WorkloadSuite`, a suite-spec string
+        (``"table1-batched"``, ``"table1@batch=8"``,
+        ``"long-context@seq<=8192"``, ...) or ``None`` for the Table-1 default
+        — which is exactly the historical behaviour, entry for entry.
     """
 
     hardware: HardwareConfig = field(default_factory=simulated_edge_device)
@@ -98,14 +105,27 @@ class ExperimentRunner:
     use_cache: bool = True
     search_workers: int | None = None
     search_backend: str | None = None
+    suite: str | WorkloadSuite | None = None
     _runs: dict[tuple[str, str], MethodRun] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         check_positive_int(self.search_budget, "search_budget")
         # Fail fast on bad worker/backend settings (explicit or from the
-        # environment) instead of erroring later inside pool workers.
+        # environment) instead of erroring later inside pool workers — and on
+        # a malformed suite spec before any pair executes.
         resolve_workers(self.search_workers)
         resolve_backend(self.search_backend)
+        self._workload_suite = get_suite(self.suite if self.suite is not None else "table1")
+
+    @property
+    def workload_suite(self) -> WorkloadSuite:
+        """The resolved :class:`WorkloadSuite` this runner sweeps."""
+        return self._workload_suite
+
+    @property
+    def suite_name(self) -> str:
+        """Name of the resolved suite (``"table1"`` by default)."""
+        return self._workload_suite.name
 
     # ------------------------------------------------------------------ #
     def methods(self, subset: list[str] | None = None) -> list[str]:
@@ -119,25 +139,31 @@ class ExperimentRunner:
         return [m for m in order if m in subset]
 
     def networks(self, subset: list[str] | None = None) -> list[str]:
-        """Network names in Table-1 order, optionally restricted to ``subset``.
+        """Suite entry names in suite order, optionally restricted to ``subset``.
 
         Mirrors :meth:`methods`: unknown names raise a clear :class:`KeyError`
-        (with prefix matching, as everywhere else), duplicates are dropped,
-        and the result always comes back in canonical Table-1 order.
+        (with alias/prefix matching, as everywhere else), duplicates are
+        dropped, and the result always comes back in canonical suite order —
+        Table-1 order for the default suite.
         """
-        order = list_networks()
+        order = self._workload_suite.entry_names()
         if subset is None:
             return order
-        requested = {get_network(name).name for name in subset}
+        requested = {self._workload_suite.get_entry(name).name for name in subset}
         return [name for name in order if name in requested]
+
+    def workload_for(self, network: str) -> AttentionWorkload:
+        """The attention workload of one suite entry (alias/prefix lookup)."""
+        return self._workload_suite.workload_for(network)
 
     # ------------------------------------------------------------------ #
     def pair_spec(self, method: str, network: str) -> PairSpec:
         """The :class:`PairSpec` this runner would execute for one pair."""
+        entry = self._workload_suite.get_entry(network)
         return PairSpec(
             hardware=self.hardware,
             method=method,
-            network=network,
+            network=entry.name,
             budget=self.search_budget,
             strategy=self.search_strategy,
             metric=self.metric,
@@ -147,12 +173,13 @@ class ExperimentRunner:
             use_cache=self.use_cache,
             search_workers=self.search_workers,
             search_backend=self.search_backend,
+            workload=entry.workload,
         )
 
     def run(self, method: str, network: str) -> MethodRun:
-        """Tune (if enabled) and simulate ``method`` on ``network`` (memoized)."""
+        """Tune (if enabled) and simulate ``method`` on one entry (memoized)."""
         method = get_scheduler(method).name
-        name = get_network(network).name
+        name = self._workload_suite.get_entry(network).name
         key = (method, name)
         if key in self._runs:
             return self._runs[key]
@@ -171,13 +198,13 @@ class ExperimentRunner:
         The streaming counterpart of :meth:`run_matrix`: every yielded run is
         memoized exactly as if :meth:`run` had produced it, and the set of
         runs is identical to the matrix — only the delivery is incremental.
-        The serial runner computes pairs in Table-1 order, so completion
-        order and table order coincide and ``stream`` makes no difference
-        here; :class:`ParallelRunner` overrides this with true
-        ``as_completed`` streaming (and ``stream=False`` as the in-order
-        fallback).
+        The serial runner computes pairs in suite order (Table-1 order for
+        the default suite), so completion order and table order coincide and
+        ``stream`` makes no difference here; :class:`ParallelRunner`
+        overrides this with true ``as_completed`` streaming (and
+        ``stream=False`` as the in-order fallback).
         """
-        del stream  # serial completion order *is* Table-1 order
+        del stream  # serial completion order *is* suite order
         for network in self.networks(networks):
             for method in self.methods(methods):
                 yield self.run(method, network)
@@ -254,7 +281,7 @@ class ParallelRunner(ExperimentRunner):
 
         With ``stream=True`` already-memoized pairs come first, then fresh
         runs in completion (``as_completed``) order.  With ``stream=False``
-        the pairs still *execute* in parallel but are yielded in Table-1
+        the pairs still *execute* in parallel but are yielded in suite
         order, each one as soon as it and all its predecessors are done.
         """
         network_names = self.networks(networks)

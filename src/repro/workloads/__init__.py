@@ -1,4 +1,5 @@
-"""Attention workload definitions: generic shapes, the Table-1 network registry
+"""Attention workload definitions: generic shapes, the Table-1 network registry,
+the workload-suite registry (batched / cross-attention / long-context sweeps)
 and the Stable Diffusion 1.5 reduced-UNet end-to-end workload (Section 5.2.2)."""
 
 from repro.workloads.attention import AttentionWorkload
@@ -7,12 +8,24 @@ from repro.workloads.networks import (
     NetworkConfig,
     get_network,
     list_networks,
+    name_aliases,
+    resolve_name,
     table1_rows,
 )
 from repro.workloads.stable_diffusion import (
     AttentionUnit,
     StableDiffusionUNetWorkload,
+    sd15_cross_attention_units,
     sd15_reduced_unet,
+)
+from repro.workloads.suites import (
+    LONG_CONTEXT_SEQS,
+    TABLE1_BATCH_SIZES,
+    SuiteEntry,
+    WorkloadSuite,
+    get_suite,
+    list_suites,
+    parse_suite_spec,
 )
 
 __all__ = [
@@ -21,8 +34,18 @@ __all__ = [
     "NetworkConfig",
     "get_network",
     "list_networks",
+    "name_aliases",
+    "resolve_name",
     "table1_rows",
     "AttentionUnit",
     "StableDiffusionUNetWorkload",
+    "sd15_cross_attention_units",
     "sd15_reduced_unet",
+    "SuiteEntry",
+    "WorkloadSuite",
+    "TABLE1_BATCH_SIZES",
+    "LONG_CONTEXT_SEQS",
+    "get_suite",
+    "list_suites",
+    "parse_suite_spec",
 ]

@@ -84,6 +84,20 @@ class AttentionWorkload:
         """Copy of this workload with a different batch size."""
         return replace(self, batch=batch)
 
+    def renamed(self, name: str) -> "AttentionWorkload":
+        """Copy of this workload with a different display name."""
+        return replace(self, name=name)
+
+    @property
+    def is_cross_attention(self) -> bool:
+        """Whether queries and keys/values have different sequence lengths."""
+        return self.seq_q != self.seq_kv
+
+    @property
+    def max_seq(self) -> int:
+        """The longer of the two sequence lengths (suite ``seq`` filters key on it)."""
+        return max(self.seq_q, self.seq_kv)
+
     # ------------------------------------------------------------------ #
     # Derived sizes
     # ------------------------------------------------------------------ #

@@ -8,7 +8,9 @@ for the ViT variants where the patch embedding differs slightly.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.utils.validation import check_positive_int
 from repro.workloads.attention import AttentionWorkload
@@ -66,17 +68,81 @@ def list_networks() -> list[str]:
     return [cfg.name for cfg in _TABLE1]
 
 
+_PAREN_RE = re.compile(r"^(?P<head>[^(]*)\((?P<alt>[^)]*)\)(?P<rest>.*)$")
+_TAG_RE = re.compile(r"(?: @\S+)+$")
+
+
+def name_aliases(name: str) -> tuple[str, ...]:
+    """Alternative lookup names of a registry entry.
+
+    Table-1 rows that share a shape are registered under one ``&``-joined name
+    (``"BERT-Base & T5-Base"``); each part is accepted as an alias, and a
+    parenthesized alternative spelling inside a part (``"T5-3B (T5-XL)"``)
+    yields both the bare part and the alternative.  A derived suite's trailing
+    tag (``" @b8"``, ``" @n2048"``) is re-attached to *every* alias, so
+    batched entries stay addressable from either side too
+    (``"BERT-Base @b8"`` and ``"T5-Base @b8"`` both work).
+    """
+    tag_match = _TAG_RE.search(name)
+    tag = tag_match.group(0) if tag_match else ""
+    base = name[: len(name) - len(tag)].rstrip() if tag else name
+    aliases: list[str] = []
+    for part in base.split("&"):
+        part = part.strip()
+        if not part or part == base:
+            continue
+        aliases.append(part)
+        match = _PAREN_RE.match(part)
+        if match:
+            rest = match["rest"].rstrip()
+            aliases.append((match["head"].strip() + rest).strip())
+            aliases.append((match["alt"].strip() + rest).strip())
+    return tuple(dict.fromkeys(alias + tag for alias in aliases if alias))
+
+
+def resolve_name(query: str, names: Iterable[str], kind: str = "network") -> str:
+    """Resolve ``query`` against ``names`` by exact, alias or prefix match.
+
+    Resolution order: exact name, then case-insensitive exact name or alias
+    (aliases are the ``&``-split parts, see :func:`name_aliases`), then
+    case-insensitive prefix of a name or alias.  A query matching several
+    distinct entries raises a ``KeyError`` (ambiguous), as does an unknown one.
+    """
+    candidates = list(names)
+    if query in candidates:
+        return query
+    lowered = query.lower()
+
+    def lookup_names(name: str) -> list[str]:
+        return [name, *name_aliases(name)]
+
+    exact = [
+        n for n in candidates if any(lowered == a.lower() for a in lookup_names(n))
+    ]
+    if len(exact) == 1:
+        return exact[0]
+    if exact:
+        raise KeyError(f"ambiguous {kind} name {query!r}; matches: {exact}")
+    prefix = [
+        n
+        for n in candidates
+        if any(a.lower().startswith(lowered) for a in lookup_names(n))
+    ]
+    if len(prefix) == 1:
+        return prefix[0]
+    if not prefix:
+        raise KeyError(f"unknown {kind} {query!r}; available: {candidates}")
+    raise KeyError(f"ambiguous {kind} name {query!r}; matches: {prefix}")
+
+
 def get_network(name: str) -> NetworkConfig:
-    """Look up a Table-1 network by exact or case-insensitive prefix match."""
-    if name in NETWORKS:
-        return NETWORKS[name]
-    lowered = name.lower()
-    matches = [cfg for cfg in _TABLE1 if cfg.name.lower().startswith(lowered)]
-    if len(matches) == 1:
-        return matches[0]
-    if not matches:
-        raise KeyError(f"unknown network {name!r}; available: {list_networks()}")
-    raise KeyError(f"ambiguous network name {name!r}; matches: {[m.name for m in matches]}")
+    """Look up a Table-1 network by exact, alias or case-insensitive prefix match.
+
+    ``&``-joined rows resolve from either side: ``"T5-Base"`` and
+    ``"BERT-Base"`` both find ``"BERT-Base & T5-Base"``, and parenthesized
+    alternative spellings work too (``"T5-XL"`` finds the T5-3B row).
+    """
+    return NETWORKS[resolve_name(name, list_networks())]
 
 
 def table1_rows() -> list[dict[str, int | str]]:

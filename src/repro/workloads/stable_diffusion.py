@@ -23,17 +23,39 @@ from repro.workloads.attention import AttentionWorkload
 
 @dataclass(frozen=True)
 class AttentionUnit:
-    """One attention unit inside the UNet."""
+    """One attention unit inside the UNet.
+
+    ``seq_kv`` distinguishes the two unit kinds of every transformer block:
+    ``None`` (the default) is plain self-attention over the latent grid, while
+    a value models text-conditioned *cross*-attention — queries keep the
+    latent-grid length ``seq`` and keys/values come from the encoder context
+    (77 CLIP tokens for SD 1.5).
+    """
 
     name: str
     heads: int
     seq: int
     emb: int
+    seq_kv: int | None = None
+
+    @property
+    def is_cross_attention(self) -> bool:
+        return self.seq_kv is not None and self.seq_kv != self.seq
 
     def workload(self, dtype_bytes: int = 2) -> AttentionWorkload:
         """Attention workload of this unit."""
-        return AttentionWorkload.self_attention(
-            heads=self.heads, seq=self.seq, emb=self.emb, dtype_bytes=dtype_bytes, name=self.name
+        if self.seq_kv is None:
+            return AttentionWorkload.self_attention(
+                heads=self.heads, seq=self.seq, emb=self.emb, dtype_bytes=dtype_bytes, name=self.name
+            )
+        return AttentionWorkload(
+            batch=1,
+            heads=self.heads,
+            seq_q=self.seq,
+            seq_kv=self.seq_kv,
+            emb=self.emb,
+            dtype_bytes=dtype_bytes,
+            name=self.name,
         )
 
 
@@ -106,3 +128,28 @@ def sd15_reduced_unet() -> StableDiffusionUNetWorkload:
     units = tuple(down + mid + up)
     assert len(units) == 15, "the reduced UNet must contain exactly 15 attention units"
     return StableDiffusionUNetWorkload(units=units)
+
+
+#: Context length of the SD-1.5 text encoder (CLIP ViT-L/14: 77 tokens).
+SD15_TEXT_TOKENS = 77
+
+
+def sd15_cross_attention_units() -> tuple[AttentionUnit, ...]:
+    """Text-conditioned cross-attention units of the reduced SD-1.5 UNet.
+
+    Every transformer block of the UNet pairs its self-attention with a
+    cross-attention over the CLIP text embedding: queries keep the block's
+    latent-grid length (4096 down to 64 across the resolution ladder) while
+    keys/values are the 77 text tokens.  One unit per distinct level is
+    enough for a sweep registry — the repeated blocks of
+    :func:`sd15_reduced_unet` share these shapes exactly.
+    """
+    return tuple(
+        AttentionUnit(name, heads=2, seq=seq, emb=64, seq_kv=SD15_TEXT_TOKENS)
+        for name, seq in (
+            ("sd.down.0.xattn", 4096),
+            ("sd.down.1.xattn", 1024),
+            ("sd.down.2.xattn", 256),
+            ("sd.mid.xattn", 64),
+        )
+    )

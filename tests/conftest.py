@@ -8,6 +8,8 @@ cores of the simulated device.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.tiling import TilingConfig
@@ -15,6 +17,19 @@ from repro.hardware.config import HardwareConfig, MacUnitSpec, MemoryLevelSpec, 
 from repro.hardware.presets import simulated_edge_device
 from repro.utils.units import KB, MB
 from repro.workloads.attention import AttentionWorkload
+
+#: Suite specs the sweep tests run under: the default registry, a batched
+#: derivation and a cross-attention slice (smoke-sized shapes).  Setting
+#: ``$MAS_TEST_SUITE`` replaces the list with one suite — CI uses this to run
+#: the exec/analysis sweeps over a non-default suite on every push.
+SWEEP_SUITE_SPECS: tuple[str, ...] = (
+    "table1",
+    "table1@batch=4",
+    "cross-attention@seq<=1024",
+)
+_env_suite = os.environ.get("MAS_TEST_SUITE", "").strip()
+if _env_suite:
+    SWEEP_SUITE_SPECS = (_env_suite,)
 
 
 @pytest.fixture
@@ -72,3 +87,14 @@ def tiny_workload() -> AttentionWorkload:
 def small_tiling() -> TilingConfig:
     """Row-blocks of 32 and K/V tiles of 32 — several of each for the fixtures."""
     return TilingConfig(bb=1, hh=1, nq=32, nkv=32)
+
+
+@pytest.fixture(params=SWEEP_SUITE_SPECS)
+def sweep_suite(request: pytest.FixtureRequest) -> str:
+    """Suite spec the exec/analysis sweep tests run under.
+
+    Parametrized over :data:`SWEEP_SUITE_SPECS` (``$MAS_TEST_SUITE``
+    overrides), so every sweep-shaped test exercises the suite plumbing on
+    more than just Table 1.
+    """
+    return request.param

@@ -247,3 +247,67 @@ class TestAblations:
         )
         assert len(result.rows) == 2
         assert all(v >= 1.0 for v in result.summary.values())
+
+
+class TestSuiteParametrizedHarnesses:
+    """Tables/figures sweep any workload suite (see the ``sweep_suite`` fixture)."""
+
+    def test_table2_over_suite(self, sweep_suite):
+        from repro.workloads.suites import get_suite
+
+        suite = get_suite(sweep_suite)
+        subset = suite.entry_names()[:2]
+        runner = ExperimentRunner(suite=sweep_suite, use_search=False)
+        result = run_table2(runner, networks=subset)
+        assert result.networks == subset
+        assert result.suite == suite.name
+        # deterministic: a fresh runner reproduces every cycle count
+        again = run_table2(
+            ExperimentRunner(suite=sweep_suite, use_search=False), networks=subset
+        )
+        for entry in subset:
+            assert result.row(entry).cycles == again.row(entry).cycles
+        if suite.name == "table1":
+            assert "suite" not in result.format()  # bit-identical to the paper artefact
+        else:
+            assert suite.name in result.format()
+
+    def test_table3_and_figures_over_non_default_suite(self):
+        runner = ExperimentRunner(suite="cross-attention@seq<=512", use_search=False)
+        table3 = run_table3(runner)
+        assert table3.suite == "cross-attention@seq<=512"
+        assert "cross-attention" in table3.format()
+        fig6 = run_figure6(runner)
+        assert fig6.networks == runner.networks()
+        assert "cross-attention" in fig6.format()
+
+    def test_dram_analysis_uses_suite_workloads(self):
+        runner = ExperimentRunner(suite="table1@batch=4", use_search=False)
+        batched = run_dram_analysis(runner, networks=["ViT-B/14 @b4"], include_constrained=True)
+        plain = run_dram_analysis(
+            ExperimentRunner(use_search=False), networks=["ViT-B/14"], include_constrained=True
+        )
+        row_b = batched.row("ViT-B/14 @b4")
+        row_1 = plain.row("ViT-B/14")
+        assert row_b.flat_reads > row_1.flat_reads  # batch-4 traffic, not Table-1 defaults
+        assert batched.row("ViT-B/14 @b4", constrained=True).flat_reads > 0
+
+    def test_figure7_over_suite(self):
+        runner = ExperimentRunner(suite="cross-attention@seq<=128", search_budget=6, seed=0)
+        result = run_figure7(runner)
+        assert result.suite == "cross-attention@seq<=128"
+        series = result.get("sd.mid.xattn", "mas")
+        assert series.is_monotone_nonincreasing()
+
+    def test_suite_alongside_runner_rejected(self):
+        runner = ExperimentRunner(use_search=False)
+        with pytest.raises(ValueError, match="suite"):
+            run_table2(runner, networks=["ViT-B/14"], suite="table1-batched")
+        # a matching suite is allowed (it is the runner's own)
+        result = run_table2(runner, networks=["ViT-B/14"], suite="table1")
+        assert result.suite == "table1"
+
+    def test_suite_kwarg_builds_default_runner(self):
+        result = run_table2(networks=["sd.mid.xattn"], suite="cross-attention@seq<=128")
+        assert result.networks == ["sd.mid.xattn"]
+        assert result.suite == "cross-attention@seq<=128"

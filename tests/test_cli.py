@@ -112,3 +112,60 @@ class TestCommands:
         code = main(["sweep", "vec_throughput", "--network", "ViT-B/14", "--no-search"])
         assert code == 0
         assert "MAS speedup" in capsys.readouterr().out
+
+
+class TestSuiteCli:
+    def test_suite_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--suite", "table1-batched", "--batch", "8"]
+        )
+        assert args.suite == "table1-batched" and args.batch == 8
+        defaults = build_parser().parse_args(["table3"])
+        assert defaults.suite is None and defaults.batch is None
+        for command in ("table2", "table3", "fig5", "fig6", "fig7", "dram"):
+            parsed = build_parser().parse_args([command, "--suite", "long-context"])
+            assert parsed.suite == "long-context"
+
+    def test_suites_command_lists_builtins(self, capsys):
+        assert main(["suites"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table1-batched", "cross-attention", "long-context"):
+            assert name in out
+
+    def test_suites_command_expands_a_spec(self, capsys):
+        assert main(["suites", "table1@batch=8"]) == 0
+        out = capsys.readouterr().out
+        assert "ViT-B/14 @b8" in out and "table1@batch=8" in out
+
+    def test_suites_command_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            main(["suites", "table9"])
+
+    def test_table2_suite_table1_output_identical_to_default(self, capsys):
+        assert main(["table2", "--no-search", "--networks", "ViT-B/14"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["table2", "--no-search", "--networks", "ViT-B/14", "--suite", "table1"]) == 0
+        assert capsys.readouterr().out == default_out
+        assert "suite" not in default_out
+
+    def test_table2_cross_attention_suite(self, capsys):
+        code = main(["table2", "--no-search", "--suite", "cross-attention@seq<=128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sd.mid.xattn" in out and "cross-attention" in out
+
+    def test_table2_batch_shorthand(self, capsys):
+        code = main(
+            ["table2", "--no-search", "--batch", "8", "--networks", "ViT-B/14 @b8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ViT-B/14 @b8" in out and "table1@batch=8" in out
+
+    def test_streaming_works_with_suites(self, capsys):
+        code = main(
+            ["table2", "--no-search", "--suite", "cross-attention@seq<=128", "--stream"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[1/6]" in captured.err and "sd.mid.xattn" in captured.err

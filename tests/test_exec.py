@@ -312,3 +312,116 @@ def test_parallel_runner_defaults_match_experiment_runner():
     assert parallel.hardware == simulated_edge_device()
     assert parallel.search_budget == serial.search_budget
     assert parallel.jobs == 1
+
+
+class TestSuiteSweeps:
+    """The suite-parametrized sweep matrix (see the ``sweep_suite`` fixture)."""
+
+    def test_runner_sweeps_suite_deterministically(self, sweep_suite):
+        from repro.workloads.suites import get_suite
+
+        subset = get_suite(sweep_suite).entry_names()[:2]
+        first = ExperimentRunner(suite=sweep_suite, search_budget=4, seed=0)
+        again = ExperimentRunner(suite=get_suite(sweep_suite), search_budget=4, seed=0)
+        matrix = first.run_matrix(subset, FAST_METHODS)
+        repeat = again.run_matrix(subset, FAST_METHODS)
+        assert set(matrix) == set(subset)
+        for entry in matrix:
+            for method in FAST_METHODS:
+                a, b = matrix[entry][method], repeat[entry][method]
+                assert a.cycles == b.cycles > 0
+                assert a.energy_pj == b.energy_pj
+                assert a.network == entry
+                if a.tuned:
+                    assert a.tuning.best_tiling == b.tuning.best_tiling
+
+    def test_parallel_matches_serial_on_suite(self, sweep_suite):
+        from repro.workloads.suites import get_suite
+
+        subset = get_suite(sweep_suite).entry_names()[:2]
+        serial = ExperimentRunner(suite=sweep_suite, search_budget=4, seed=0)
+        parallel = ParallelRunner(suite=sweep_suite, search_budget=4, seed=0, jobs=2)
+        assert _matrix_keys(serial.run_matrix(subset, FAST_METHODS)) == _matrix_keys(
+            parallel.run_matrix(subset, FAST_METHODS)
+        )
+
+    def test_suite_workloads_reach_the_simulation(self, sweep_suite):
+        """The simulated DRAM traffic scales with the suite entry's shape —
+        proof the entry workload (not a Table-1 default) was executed."""
+        runner = ExperimentRunner(suite=sweep_suite, use_search=False)
+        entry = runner.networks()[0]
+        workload = runner.workload_for(entry)
+        run = runner.run("flat", entry)
+        assert run.result.dram_reads >= workload.input_bytes
+
+    def test_table1_suite_reproduces_table1_ordering(self):
+        from repro.workloads.networks import list_networks
+
+        assert ExperimentRunner().networks() == list_networks()
+        assert ExperimentRunner(suite="table1").networks() == list_networks()
+        default = ExperimentRunner(search_budget=BUDGET, seed=0)
+        named = ExperimentRunner(suite="table1", search_budget=BUDGET, seed=0)
+        assert _matrix_keys(default.run_matrix(FAST_NETWORKS, FAST_METHODS)) == _matrix_keys(
+            named.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        )
+
+    def test_bad_suite_spec_fails_eagerly(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(suite="table1@heads=4")
+        with pytest.raises(KeyError):
+            ExperimentRunner(suite="table9")
+
+
+class TestSuiteCacheKeys:
+    def test_key_sensitive_to_batch_and_seq_kv(self, edge_hw, workload):
+        """Entries differing only in batch, or only in seq_kv, never collide."""
+        base = tuning_cache_key(edge_hw, "mas", workload, "mcts+ga", 10, "cycles", 0)
+        variants = [
+            tuning_cache_key(
+                edge_hw, "mas", workload.with_batch(8), "mcts+ga", 10, "cycles", 0
+            ),
+            tuning_cache_key(
+                edge_hw,
+                "mas",
+                workload.with_seq(workload.seq_q, 2 * workload.seq_kv),
+                "mcts+ga", 10, "cycles", 0,
+            ),
+        ]
+        assert len({base, *variants}) == 3
+
+    def test_identical_shapes_across_suites_share_key(self, edge_hw):
+        """table1@batch=8 and the batch-8 third of table1-batched are the
+        same entries, so their cache keys coincide (cross-suite reuse)."""
+        from repro.workloads.suites import get_suite
+
+        a = get_suite("table1@batch=8").get_entry("ViT-B/14 @b8").workload
+        b = get_suite("table1-batched").get_entry("ViT-B/14 @b8").workload
+        key = tuning_cache_key(edge_hw, "mas", a, "mcts+ga", 10, "cycles", 0)
+        assert key == tuning_cache_key(edge_hw, "mas", b, "mcts+ga", 10, "cycles", 0)
+
+    def test_cross_suite_cache_reuse_end_to_end(self, tmp_path):
+        """A pair tuned under one suite is a warm hit under another suite
+        that derives the same entry."""
+        kwargs = dict(search_budget=3, seed=0, cache_dir=tmp_path / "cache")
+        spec_runner = ExperimentRunner(suite="table1@batch=8", **kwargs)
+        cold = spec_runner.run("mas", "ViT-B/14 @b8")
+        assert cold.tuned and not cold.cached
+
+        batched_runner = ParallelRunner(suite="table1-batched", jobs=2, **kwargs)
+        warm = batched_runner.run("mas", "ViT-B/14 @b8")
+        assert warm.cached
+        assert warm.cycles == cold.cycles
+        assert warm.tuning.best_tiling == cold.tuning.best_tiling
+
+    def test_pair_seed_uses_entry_name(self):
+        """Distinct suite entries search with decorrelated seeds even when
+        they share a base network."""
+        assert pair_seed(0, "mas", "ViT-B/14") != pair_seed(0, "mas", "ViT-B/14 @b8")
+
+    def test_pair_spec_carries_entry_workload(self):
+        runner = ExperimentRunner(suite="cross-attention", use_search=False)
+        spec = runner.pair_spec("mas", "sd.mid.xattn")
+        assert spec.workload == runner.workload_for("sd.mid.xattn")
+        assert spec.workload.seq_q != spec.workload.seq_kv
+        run = execute_pair(spec)
+        assert run.network == "sd.mid.xattn"

@@ -17,6 +17,7 @@ from repro.sim.engine import critical_path_cycles, simulate_graph
 from repro.sim.tasks import TaskGraph, TaskKind
 from repro.utils.validation import ceil_div
 from repro.workloads.attention import AttentionWorkload
+from repro.workloads.suites import get_suite, list_suites
 
 # --------------------------------------------------------------------------- #
 # Strategies
@@ -248,3 +249,58 @@ class TestBufferProperties:
         for i in range(len(sizes)):
             buf.free(f"a{i}")
         assert buf.used_bytes == 0 and buf.free_bytes == capacity
+
+
+# --------------------------------------------------------------------------- #
+# Workload / suite invariants
+# --------------------------------------------------------------------------- #
+class TestWorkloadInvariants:
+    @given(workloads(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_and_macs_linear_in_batch(self, workload, batch):
+        """Every byte and MAC count scales exactly linearly with batch size."""
+        base = workload.with_batch(1)
+        scaled = workload.with_batch(batch)
+        for attribute in ("input_bytes", "output_bytes", "score_bytes", "qk_macs", "total_macs", "softmax_elements"):
+            assert getattr(scaled, attribute) == batch * getattr(base, attribute)
+
+    @given(workloads(), st.integers(1, 16), st.integers(1, 512), st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_with_batch_and_with_seq_round_trip(self, workload, batch, seq_q, seq_kv):
+        assert workload.with_batch(batch).with_batch(workload.batch) == workload
+        assert workload.with_seq(seq_q, seq_kv).with_seq(workload.seq_q, workload.seq_kv) == workload
+        assert workload.with_seq(seq_q).seq_kv == seq_q  # self-attention default
+        assert workload.renamed("x").renamed(workload.name) == workload
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_cross_attention_flag_matches_shape(self, workload):
+        assert workload.is_cross_attention == (workload.seq_q != workload.seq_kv)
+        assert workload.max_seq == max(workload.seq_q, workload.seq_kv)
+
+
+class TestSuiteInvariants:
+    @given(st.sampled_from(list_suites()), st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_with_batch_preserves_structure(self, name, batch):
+        """Re-batching a suite keeps order and every non-batch shape field."""
+        suite = get_suite(name)
+        derived = suite.with_batch(batch)
+        assert len(derived) == len(suite)
+        assert len(set(derived.entry_names())) == len(derived)
+        for before, after in zip(suite, derived):
+            assert after.name == f"{before.name} @b{batch}"
+            assert after.workload == before.workload.with_batch(batch).renamed(after.name)
+
+    @given(st.sampled_from(list_suites()), st.sampled_from(["<=", ">="]), st.integers(1, 65536))
+    @settings(max_examples=60, deadline=None)
+    def test_seq_filter_is_a_subsequence(self, name, op, seq):
+        """A seq filter keeps exactly the qualifying entries, in suite order."""
+        suite = get_suite(name)
+        satisfies = (lambda n: n <= seq) if op == "<=" else (lambda n: n >= seq)
+        expected = [e.name for e in suite if satisfies(e.workload.max_seq)]
+        if not expected:
+            with pytest.raises(ValueError):
+                suite.filter_seq(op, seq)
+        else:
+            assert suite.filter_seq(op, seq).entry_names() == expected

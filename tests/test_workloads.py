@@ -1,12 +1,30 @@
-"""Unit tests for :mod:`repro.workloads` (attention shapes, Table 1, SD-1.5 UNet)."""
+"""Unit tests for :mod:`repro.workloads` (attention shapes, Table 1, suites, SD-1.5 UNet)."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.workloads.attention import AttentionWorkload
-from repro.workloads.networks import NETWORKS, get_network, list_networks, table1_rows
-from repro.workloads.stable_diffusion import sd15_reduced_unet
+from repro.workloads.networks import (
+    NETWORKS,
+    get_network,
+    list_networks,
+    name_aliases,
+    table1_rows,
+)
+from repro.workloads.stable_diffusion import (
+    sd15_cross_attention_units,
+    sd15_reduced_unet,
+)
+from repro.workloads.suites import (
+    LONG_CONTEXT_SEQS,
+    TABLE1_BATCH_SIZES,
+    SuiteEntry,
+    WorkloadSuite,
+    get_suite,
+    list_suites,
+    parse_suite_spec,
+)
 
 
 class TestAttentionWorkload:
@@ -86,6 +104,47 @@ class TestTable1Registry:
         with pytest.raises(KeyError, match="ambiguous"):
             get_network("ViT")
 
+    def test_exact_lookup(self):
+        assert get_network("XLM").name == "XLM"
+        assert get_network("BERT-Base & T5-Base").name == "BERT-Base & T5-Base"
+
+    def test_alias_lookup_resolves_amp_joined_rows(self):
+        """Every side of an ``&``-joined Table-1 row is a valid lookup name."""
+        assert get_network("T5-Base").name == "BERT-Base & T5-Base"
+        assert get_network("t5-large").name == "BERT-Large & T5-Large"
+        assert get_network("T5-Small").name == "T5-Mini & T5-Small"
+        assert get_network("T5-3B").name == "Llama3-8B & T5-3B (T5-XL)"
+        assert get_network("T5-XL").name == "Llama3-8B & T5-3B (T5-XL)"
+        assert get_network("Llama3-8B").name == "Llama3-8B & T5-3B (T5-XL)"
+
+    def test_alias_prefix_lookup(self):
+        assert get_network("BERT-L").name == "BERT-Large & T5-Large"
+        assert get_network("t5-mi").name == "T5-Mini & T5-Small"
+
+    def test_ambiguous_alias_lookup(self):
+        with pytest.raises(KeyError, match="ambiguous"):
+            get_network("T5")  # T5-Base, T5-Large, T5-3B, T5-Mini, ...
+        with pytest.raises(KeyError, match="ambiguous"):
+            get_network("BERT")
+
+    def test_unknown_lookup_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_network("GPT-7")
+
+    def test_name_aliases(self):
+        assert name_aliases("XLM") == ()
+        assert name_aliases("BERT-Base & T5-Base") == ("BERT-Base", "T5-Base")
+        assert set(name_aliases("Llama3-8B & T5-3B (T5-XL)")) == {
+            "Llama3-8B",
+            "T5-3B (T5-XL)",
+            "T5-3B",
+            "T5-XL",
+        }
+        # Derived-suite tags are re-attached to every alias, first part included.
+        tagged = name_aliases("Llama3-8B & T5-3B (T5-XL) @b8")
+        assert {"Llama3-8B @b8", "T5-3B @b8", "T5-XL @b8"} <= set(tagged)
+        assert "BERT-Base @b4" in name_aliases("BERT-Base & T5-Base @b4")
+
     def test_workload_instantiation(self):
         wl = get_network("XLM").workload(batch=2)
         assert wl.heads == 8 and wl.seq_q == 512 and wl.emb == 128 and wl.batch == 2
@@ -116,3 +175,147 @@ class TestStableDiffusionWorkload:
     def test_non_attention_fraction_bounds(self):
         unet = sd15_reduced_unet()
         assert 0.0 <= unet.non_attention_fraction < 1.0
+
+
+class TestWorkloadSuites:
+    def test_four_builtin_suites(self):
+        assert len(list_suites()) >= 4
+        assert set(list_suites()) >= {
+            "table1",
+            "table1-batched",
+            "cross-attention",
+            "long-context",
+        }
+
+    @pytest.mark.parametrize("name", ["table1", "table1-batched", "cross-attention", "long-context"])
+    def test_suite_invariants(self, name):
+        """Unique entry names, positive shape fields, name-normalized workloads."""
+        suite = get_suite(name)
+        names = suite.entry_names()
+        assert len(names) == len(set(names)) == len(suite) > 0
+        for entry in suite:
+            wl = entry.workload
+            assert wl.name == entry.name
+            assert min(wl.batch, wl.heads, wl.seq_q, wl.seq_kv, wl.emb, wl.dtype_bytes) > 0
+
+    def test_table1_suite_matches_network_registry(self):
+        """The default suite *is* Table 1: same names, same order, same shapes."""
+        suite = get_suite("table1")
+        assert suite.entry_names() == list_networks()
+        for name in list_networks():
+            assert suite.workload_for(name) == get_network(name).workload()
+
+    def test_table1_batched_covers_every_batch(self):
+        suite = get_suite("table1-batched")
+        assert len(suite) == len(list_networks()) * len(TABLE1_BATCH_SIZES)
+        assert {e.workload.batch for e in suite} == set(TABLE1_BATCH_SIZES)
+        for batch in TABLE1_BATCH_SIZES:
+            assert f"ViT-B/14 @b{batch}" in suite.entry_names()
+
+    def test_cross_attention_entries_are_cross(self):
+        suite = get_suite("cross-attention")
+        assert len(suite) >= 4
+        for entry in suite:
+            assert entry.workload.seq_q != entry.workload.seq_kv
+            assert entry.workload.is_cross_attention
+
+    def test_cross_attention_promotes_sd_unet_shapes(self):
+        """The SD ladder entries match the promoted cross-attention units."""
+        suite = get_suite("cross-attention")
+        for unit in sd15_cross_attention_units():
+            assert suite.workload_for(unit.name) == unit.workload()
+            assert unit.is_cross_attention
+
+    def test_long_context_sweeps_2k_to_32k(self):
+        suite = get_suite("long-context")
+        seqs = sorted({e.workload.seq_q for e in suite})
+        assert seqs == sorted(LONG_CONTEXT_SEQS)
+        assert min(seqs) == 2048 and max(seqs) == 32768
+        assert all(e.workload.seq_q == e.workload.seq_kv for e in suite)
+
+    def test_with_batch_round_trip(self):
+        suite = get_suite("table1")
+        batched = suite.with_batch(8)
+        entry = batched.get_entry("ViT-B/14 @b8")
+        expected = get_network("ViT-B/14").workload().with_batch(8)
+        assert entry.workload == expected.renamed("ViT-B/14 @b8")
+        # re-batching back restores the original shape (names stay tagged)
+        assert entry.workload.with_batch(1) == (
+            get_network("ViT-B/14").workload().renamed("ViT-B/14 @b8")
+        )
+
+    def test_entry_lookup_alias_and_errors(self):
+        suite = get_suite("table1-batched")
+        assert suite.get_entry("T5-Base @b4").name == "BERT-Base & T5-Base @b4"
+        assert suite.get_entry("BERT-Base @b4").name == "BERT-Base & T5-Base @b4"
+        with pytest.raises(KeyError, match="ambiguous"):
+            suite.get_entry("ViT-B/14")  # @b4 / @b8 / @b16
+        with pytest.raises(KeyError, match="unknown"):
+            suite.get_entry("GPT-7")
+
+    def test_duplicate_entry_names_rejected(self):
+        entry = SuiteEntry("dup", AttentionWorkload.self_attention(heads=2, seq=64, emb=16))
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadSuite(name="bad", description="", entries=(entry, entry))
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSuite(name="empty", description="", entries=())
+
+
+class TestSuiteSpecs:
+    def test_builtin_and_prefix(self):
+        assert get_suite("table1").name == "table1"
+        assert get_suite("cross").name == "cross-attention"
+        assert get_suite("long").name == "long-context"
+
+    def test_suite_passthrough(self):
+        suite = get_suite("table1")
+        assert get_suite(suite) is suite
+
+    def test_batch_modifier(self):
+        suite = parse_suite_spec("table1@batch=8")
+        assert suite.name == "table1@batch=8"
+        assert all(e.workload.batch == 8 for e in suite)
+        assert suite.entry_names() == [f"{n} @b8" for n in list_networks()]
+
+    def test_seq_filters(self):
+        le = parse_suite_spec("long-context@seq<=8192")
+        assert {e.workload.seq_q for e in le} == {2048, 4096, 8192}
+        ge = parse_suite_spec("long-context@seq>=16384")
+        assert {e.workload.seq_q for e in ge} == {16384, 32768}
+        eq = parse_suite_spec("long-context@seq=4096")
+        assert {e.workload.seq_q for e in eq} == {4096}
+
+    def test_seq_filter_keys_on_max_seq(self):
+        """Cross-attention entries filter on max(seq_q, seq_kv)."""
+        suite = parse_suite_spec("cross-attention@seq<=128")
+        assert suite.entry_names() == ["sd.mid.xattn"]  # seq_q=64 but seq_kv=77
+
+    def test_modifiers_compose(self):
+        suite = parse_suite_spec("table1@batch=4,seq<=256")
+        assert all(e.workload.batch == 4 for e in suite)
+        assert all(e.workload.max_seq <= 256 for e in suite)
+        assert len(suite) == 6  # the six ViT rows
+        also = parse_suite_spec("table1@batch=4@seq<=256")
+        assert also.entry_names() == suite.entry_names()
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            parse_suite_spec("table9")
+        with pytest.raises(ValueError, match="modifier"):
+            parse_suite_spec("table1@heads=4")
+        with pytest.raises(ValueError, match="batch"):
+            parse_suite_spec("table1@batch<=4")
+        with pytest.raises(ValueError):
+            parse_suite_spec("table1@batch=0")
+        with pytest.raises(ValueError, match="no entries"):
+            parse_suite_spec("table1@seq<=1")
+
+    def test_identical_entries_across_suites(self):
+        """The same shape derived through different suites is the same entry —
+        the invariant cross-suite cache reuse rests on."""
+        via_spec = get_suite("table1@batch=8").get_entry("ViT-B/14 @b8")
+        via_batched = get_suite("table1-batched").get_entry("ViT-B/14 @b8")
+        assert via_spec == via_batched
+        assert via_spec.workload == via_batched.workload
