@@ -25,6 +25,7 @@ import time
 from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
 from repro.hardware.presets import simulated_edge_device
 from repro.search.autotuner import AutoTuner, TuningResult
+from repro.store import JsonDirStore, SqliteStore, migrate_store
 from repro.workloads.networks import get_network
 
 SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
@@ -102,6 +103,53 @@ def test_parallel_runner_and_result_cache(benchmark, tmp_path_factory):
 
     # The warm sweep skips every search; it must beat the cold sweep clearly.
     assert t_warm < t_cold
+
+
+def test_result_store_backends(benchmark, tmp_path_factory):
+    """Warm-sweep wall time per store backend: JSON directory vs SQLite.
+
+    One cold sweep populates a JSON-directory cache, which is then migrated
+    (zero entry loss) into a SQLite store; both backends must serve a
+    bit-identical warm sweep with zero searches.  The benchmarked path is the
+    SQLite warm sweep — the shared-store steady state.
+    """
+    root = tmp_path_factory.mktemp("store-bench")
+    kwargs = dict(search_budget=SEARCH_BUDGET, seed=0)
+
+    t_cold, cold = _timed_matrix(ExperimentRunner(**kwargs, cache_dir=root / "jsondir"))
+    reference = _fingerprint(cold)
+
+    report = migrate_store(
+        JsonDirStore(root / "jsondir"), SqliteStore(root / "store.db")
+    )
+    assert not report.skipped_stale
+
+    def warm(uri: str) -> tuple[float, dict, dict]:
+        runner = ExperimentRunner(**kwargs, cache_uri=uri)
+        elapsed, matrix = _timed_matrix(runner)
+        return elapsed, matrix, runner.cache_stats()
+
+    t_dir, warm_dir, dir_stats = warm(f"dir:{root / 'jsondir'}")
+    t_db, warm_db, db_stats = warm(f"sqlite:///{root / 'store.db'}")
+    assert _fingerprint(warm_dir) == reference
+    assert _fingerprint(warm_db) == reference
+    assert dir_stats["searches"] == db_stats["searches"] == 0
+    assert dir_stats["cache_misses"] == db_stats["cache_misses"] == 0
+
+    result = benchmark.pedantic(
+        lambda: warm(f"sqlite:///{root / 'store.db'}")[1], rounds=1, iterations=1
+    )
+    assert _fingerprint(result) == reference
+
+    print()
+    print(f"matrix: {len(BENCH_NETWORKS)} networks x 6 methods, budget {SEARCH_BUDGET}")
+    print(f"cold (jsondir)    : {t_cold:8.2f} s  ({report.migrated} entries migrated)")
+    print(f"warm jsondir      : {t_dir:8.2f} s")
+    print(f"warm sqlite       : {t_db:8.2f} s")
+    benchmark.extra_info["cold_s"] = round(t_cold, 3)
+    benchmark.extra_info["warm_jsondir_s"] = round(t_dir, 3)
+    benchmark.extra_info["warm_sqlite_s"] = round(t_db, 3)
+    benchmark.extra_info["migrated_entries"] = report.migrated
 
 
 def _history_rows(result: TuningResult) -> list[tuple]:

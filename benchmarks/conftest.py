@@ -36,9 +36,12 @@ NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
 
 #: Worker processes for the tuning+simulation matrix (1 = serial) and the
 #: persistent tuning-result cache shared across benchmark sessions.  With
-#: ``MAS_BENCH_CACHE_DIR`` set, a second run of the suite skips every search.
+#: ``MAS_BENCH_CACHE_DIR`` (a directory) or ``MAS_BENCH_CACHE_URI`` (a result
+#: -store URI such as ``sqlite:///bench.db``; wins over the directory) set, a
+#: second run of the suite skips every search.
 JOBS = int(os.environ.get("MAS_BENCH_JOBS", "1"))
 CACHE_DIR = os.environ.get("MAS_BENCH_CACHE_DIR") or None
+CACHE_URI = os.environ.get("MAS_BENCH_CACHE_URI") or None
 
 #: Candidate-evaluation workers inside each pair's tiling search.  Defaults
 #: to the runner default (which itself honours ``MAS_SEARCH_WORKERS``);
@@ -63,6 +66,7 @@ def edge_runner() -> ExperimentRunner:
         seed=0,
         jobs=JOBS,
         cache_dir=CACHE_DIR,
+        cache_uri=CACHE_URI,
         search_workers=SEARCH_WORKERS,
         suite=SUITE,
     )
@@ -78,6 +82,7 @@ def npu_runner() -> ExperimentRunner:
         seed=0,
         jobs=JOBS,
         cache_dir=CACHE_DIR,
+        cache_uri=CACHE_URI,
         search_workers=SEARCH_WORKERS,
         suite=SUITE,
     )

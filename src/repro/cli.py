@@ -21,6 +21,10 @@ Examples
    $ mas-attention limits                   # Section 5.6 sequence limits
    $ mas-attention sdunet                   # Section 5.2.2 SD-1.5 UNet
    $ mas-attention ablation overwrite       # design ablations
+   $ mas-attention table2 --cache sqlite:///cache.db         # shared result store
+   $ mas-attention cache stats --cache sqlite:///cache.db    # inspect the store
+   $ mas-attention cache migrate dir:./cache sqlite:///cache.db
+   $ mas-attention cache evict --cache sqlite:///cache.db --max-bytes 1GiB
 """
 
 from __future__ import annotations
@@ -53,7 +57,9 @@ from repro.analysis import (
 )
 from repro.hardware.presets import get_preset
 from repro.schedulers.registry import list_schedulers, make_scheduler
+from repro.store import EvictionPolicy, migrate_store, open_store, parse_size
 from repro.utils.serialization import dump_json, to_jsonable
+from repro.utils.units import bytes_to_human
 from repro.workloads.networks import get_network, table1_rows
 from repro.workloads.suites import get_suite, list_suites
 
@@ -98,8 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--cache-dir",
-            default=os.environ.get("MAS_CACHE_DIR") or None,
-            help="persistent tuning-result cache directory (default: $MAS_CACHE_DIR)",
+            default=None,
+            help="persistent tuning-result cache directory",
+        )
+        p.add_argument(
+            "--cache",
+            dest="cache_uri",
+            default=None,
+            help="result-store URI: dir:/path or sqlite:///path.db, optionally "
+            "with ?max_entries=N&max_bytes=SIZE eviction caps (precedence: "
+            "--cache, then --cache-dir, then $MAS_CACHE_URI, then "
+            "$MAS_CACHE_DIR)",
         )
         p.add_argument(
             "--no-cache",
@@ -168,6 +183,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardware", default="edge-sim")
     p.add_argument("--width", type=int, default=100)
 
+    p = sub.add_parser("cache", help="inspect and manage the persistent result store")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_target(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--cache",
+            dest="cache_uri",
+            default=_env_cache_target(),
+            help="result-store URI or directory "
+            "(default: $MAS_CACHE_URI, then $MAS_CACHE_DIR)",
+        )
+
+    cp = cache_sub.add_parser("stats", help="entry count, size and stale entries")
+    add_cache_target(cp)
+
+    cp = cache_sub.add_parser("ls", help="list stored entries")
+    add_cache_target(cp)
+    cp.add_argument("--scheduler", default=None, help="filter by scheduler name")
+    cp.add_argument("--workload", default=None, help="filter by workload entry name")
+    cp.add_argument("--strategy", default=None, help="filter by search strategy")
+    cp.add_argument("--suite", default=None, help="filter by recording suite")
+    cp.add_argument("--limit", type=int, default=50, help="max rows (0 = all)")
+
+    cp = cache_sub.add_parser(
+        "migrate",
+        help="copy every entry of one store into another (jsondir <-> sqlite), "
+        "upgrading old entry schemas on the way",
+    )
+    cp.add_argument("source", help="source store URI or directory")
+    cp.add_argument("destination", help="destination store URI or directory")
+    cp.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="rewrite entries already present in the destination",
+    )
+
+    cp = cache_sub.add_parser("evict", help="LRU-evict entries down to the given caps")
+    add_cache_target(cp)
+    cp.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
+    cp.add_argument(
+        "--max-bytes", default=None, help="keep at most SIZE bytes (e.g. 512MiB, 1G)"
+    )
+
+    cp = cache_sub.add_parser("clear", help="delete every entry of the store")
+    add_cache_target(cp)
+
     p = sub.add_parser("sweep", help="hardware sensitivity sweep (MAS vs FLAT)")
     p.add_argument(
         "parameter", choices=["l1_bytes", "dram_bytes_per_cycle", "vec_throughput"]
@@ -179,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _env_cache_target() -> str | None:
+    """The environment-supplied store target (URI first, legacy dir second).
+
+    One resolution rule for every command: explicit flags always win, then
+    ``$MAS_CACHE_URI``, then ``$MAS_CACHE_DIR`` — so a sweep and a ``cache``
+    subcommand run in the same shell always talk to the same store.
+    """
+    return os.environ.get("MAS_CACHE_URI") or os.environ.get("MAS_CACHE_DIR") or None
+
+
 def _suite_spec(args: argparse.Namespace) -> str:
     """The suite spec the runner should sweep (``--suite`` plus ``--batch``)."""
     spec = args.suite or "table1"
@@ -188,11 +259,15 @@ def _suite_spec(args: argparse.Namespace) -> str:
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    cache_uri = args.cache_uri
+    if cache_uri is None and args.cache_dir is None:
+        cache_uri = _env_cache_target()
     return ParallelRunner(
         hardware=get_preset(args.hardware),
         search_budget=args.budget,
         use_search=not args.no_search,
         cache_dir=args.cache_dir,
+        cache_uri=cache_uri,
         use_cache=not args.no_cache,
         jobs=args.jobs,
         search_workers=args.search_workers,
@@ -217,6 +292,116 @@ def _stream_matrix(runner: ExperimentRunner, networks: list[str] | None) -> None
         )
 
 
+def _open_cache_store(target: str | None):
+    """The store a ``cache`` subcommand operates on (or a clear SystemExit)."""
+    store = open_store(target) if target else None
+    if store is None:  # unset, empty or whitespace-only target
+        raise SystemExit(
+            "no result store selected: pass --cache URI "
+            "(or set $MAS_CACHE_URI / $MAS_CACHE_DIR)"
+        )
+    return store
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    """The ``mas-attention cache`` group: stats / ls / migrate / evict / clear."""
+    if args.cache_command == "migrate":
+        source = _open_cache_store(args.source)
+        destination = _open_cache_store(args.destination)
+        try:
+            report = migrate_store(source, destination, overwrite=args.overwrite)
+        finally:
+            source.close()
+            destination.close()
+        print(report.summary())
+        for key in report.skipped_stale:
+            print(f"  stale entry left behind: {key}")
+        return 0
+
+    store = _open_cache_store(args.cache_uri)
+    try:
+        return _run_cache_store_command(args, store)
+    finally:
+        store.close()
+
+
+def _run_cache_store_command(args: argparse.Namespace, store) -> int:
+    """One-store ``cache`` subcommands (the store is closed by the caller)."""
+    from datetime import datetime
+
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store   : {stats.location}")
+        print(f"backend : {stats.backend}")
+        print(f"entries : {stats.entries}")
+        print(f"size    : {bytes_to_human(stats.total_bytes)}")
+        print(f"stale   : {stats.stale_entries}")
+        return 0
+
+    if args.cache_command == "ls":
+        # every backend takes the filters; SQLite pushes them into its indexes
+        entries = store.entries(
+            scheduler=args.scheduler,
+            workload=args.workload,
+            strategy=args.strategy,
+            suite=args.suite,
+        )
+        entries.sort(key=lambda e: e.last_used, reverse=True)
+        shown = entries if args.limit <= 0 else entries[: args.limit]
+        print(
+            format_table(
+                ["Key", "Scheduler", "Workload", "Strategy", "Suite", "Size", "Last used"],
+                [
+                    [
+                        e.key[:12],
+                        e.scheduler or "-",
+                        e.workload or "-",
+                        e.strategy or "-",
+                        e.suite or "-",
+                        bytes_to_human(e.size_bytes),
+                        datetime.fromtimestamp(e.last_used).isoformat(
+                            sep=" ", timespec="seconds"
+                        ),
+                    ]
+                    for e in shown
+                ],
+                title=f"{store.uri()} — {len(entries)} entries"
+                + (f" (showing {len(shown)})" if len(shown) < len(entries) else ""),
+            )
+        )
+        return 0
+
+    if args.cache_command == "evict":
+        if args.max_entries is None and args.max_bytes is None:
+            policy = store.policy
+            if not policy.bounded:
+                raise SystemExit(
+                    "nothing to enforce: pass --max-entries/--max-bytes "
+                    "or put ?max_entries=/?max_bytes= caps in the store URI"
+                )
+        else:
+            policy = EvictionPolicy(
+                max_entries=args.max_entries,
+                max_bytes=parse_size(args.max_bytes) if args.max_bytes is not None else None,
+            )
+        evicted = store.evict(policy)
+        stats = store.stats()
+        print(
+            f"evicted {len(evicted)} entries; "
+            f"{stats.entries} remain ({bytes_to_human(stats.total_bytes)})"
+        )
+        return 0
+
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.uri()}")
+        return 0
+
+    raise AssertionError(  # pragma: no cover - argparse enforces the choices
+        f"unhandled cache command {args.cache_command!r}"
+    )
+
+
 def _emit(text: str, result: object, json_path: str | None) -> None:
     print(text)
     if json_path:
@@ -231,6 +416,9 @@ def _emit(text: str, result: object, json_path: str | None) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "cache":
+        return _run_cache_command(args)
 
     if args.command == "suites":
         if args.spec:

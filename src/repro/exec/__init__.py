@@ -5,8 +5,11 @@ the analysis harnesses do with the results:
 
 * :mod:`repro.exec.pairs` — one (method, network) tune + simulate, with
   deterministic per-pair seeding, as a picklable unit of work;
-* :mod:`repro.exec.cache` — the on-disk tuning-result cache keyed by a stable
-  hash of hardware, scheduler, workload, strategy, budget, metric and seed;
+* :mod:`repro.exec.cache` — the persistent tuning-result cache keyed by a
+  stable hash of hardware, scheduler, workload, strategy, budget, metric and
+  seed, stored through a pluggable backend (:mod:`repro.store`: JSON
+  directory or shared SQLite, selected by URI, with LRU eviction and
+  cross-backend migration);
 * :mod:`repro.exec.runner` — the serial :class:`ExperimentRunner` and the
   process-pool :class:`ParallelRunner` that produce identical results, both
   with a streaming ``iter_matrix`` API (completed runs yielded as they
@@ -17,13 +20,33 @@ Table 1 by default), so every harness can run batched, cross-attention or
 long-context registries through the exact same machinery.
 """
 
-from repro.exec.cache import CACHE_SCHEMA_VERSION, ResultCache, tuning_cache_key
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    KEY_SCHEMA_VERSION,
+    ResultCache,
+    tuning_cache_key,
+)
 from repro.exec.pairs import MethodRun, PairSpec, execute_pair, pair_seed
 from repro.exec.runner import DEFAULT_METHOD_ORDER, ExperimentRunner, ParallelRunner
+from repro.store import (
+    EvictionPolicy,
+    JsonDirStore,
+    ResultStore,
+    SqliteStore,
+    migrate_store,
+    open_store,
+)
 from repro.workloads.suites import WorkloadSuite, get_suite, list_suites
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "KEY_SCHEMA_VERSION",
+    "EvictionPolicy",
+    "JsonDirStore",
+    "ResultStore",
+    "SqliteStore",
+    "migrate_store",
+    "open_store",
     "ResultCache",
     "tuning_cache_key",
     "MethodRun",

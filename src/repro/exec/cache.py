@@ -1,23 +1,32 @@
-"""Persistent on-disk cache for tuning results.
+"""Persistent cache for tuning results, backed by a pluggable result store.
 
 Every full method x network sweep re-tunes the same points on every process
 start because the auto-tuner's memoization is in-memory only.  This module
-stores each :class:`~repro.search.autotuner.TuningResult` as one JSON file
-keyed by a stable hash of everything that determines the search outcome —
-hardware configuration, scheduler, workload shape, strategy, budget, metric
-and seed — so warm sweeps (and the benchmark suite) skip the search entirely.
+stores each :class:`~repro.search.autotuner.TuningResult` under a stable hash
+of everything that determines the search outcome — hardware configuration,
+scheduler, workload shape, strategy, budget, metric and seed — so warm sweeps
+(and the benchmark suite) skip the search entirely.
 
-Files are written atomically (temp file + :func:`os.replace`), which makes one
-cache directory safe to share between the worker processes of a
-:class:`~repro.exec.runner.ParallelRunner`: concurrent writers of the same key
-produce identical content, and readers never observe a half-written file.
+*Where* entries live is delegated to :mod:`repro.store`: the historical
+directory-of-JSON-files format (:class:`~repro.store.jsondir.JsonDirStore`,
+still the default for plain paths) or a shared single-file SQLite database
+(``sqlite:///path.db``), selected by URI — see :mod:`repro.store.uri`.  This
+module owns what is stored: the ``TuningResult <-> JSON`` codec and the cache
+key.
+
+Two schema versions exist, deliberately decoupled:
+
+* :data:`KEY_SCHEMA_VERSION` is hashed into every key.  Bump it when the
+  *meaning* of a key input changes and old results must stop matching.
+* :data:`repro.store.schema.ENTRY_SCHEMA_VERSION` describes the stored
+  payload layout.  Old-layout entries are upgraded on read (or by
+  ``mas-attention cache migrate``) instead of being dropped.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
+import hashlib
 from pathlib import Path
 from typing import Any
 
@@ -26,15 +35,27 @@ from repro.hardware.config import HardwareConfig
 from repro.search.autotuner import TuningResult
 from repro.search.history import SearchHistory, SearchRecord
 from repro.search.objective import TilingEvaluation
+from repro.store import JsonDirStore, make_payload, open_store
 from repro.utils.serialization import to_jsonable
 from repro.workloads.attention import AttentionWorkload
 
-__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "tuning_cache_key"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "KEY_SCHEMA_VERSION",
+    "ResultCache",
+    "tuning_cache_key",
+]
 
-#: Bump whenever the cached payload layout (or the meaning of a key input)
-#: changes; old entries then miss instead of deserializing garbage.
+#: Hashed into every cache key.  Bump whenever the meaning of a key input
+#: changes (a new simulator cost term, a re-interpreted field, ...): every
+#: old entry then stops matching, which is the *invalidation* mechanism.
+#: Layout-only changes bump ``ENTRY_SCHEMA_VERSION`` instead and keep keys —
+#: and therefore all previously tuned work — valid.
 #: v2: payload gained ``objective_evaluations`` (search-work accounting).
-CACHE_SCHEMA_VERSION = 2
+KEY_SCHEMA_VERSION = 2
+
+#: Backwards-compatible alias (pre-store-subsystem name).
+CACHE_SCHEMA_VERSION = KEY_SCHEMA_VERSION
 
 
 def tuning_cache_key(
@@ -58,7 +79,7 @@ def tuning_cache_key(
     of ``table1-batched`` and vice versa.
     """
     payload = {
-        "schema": CACHE_SCHEMA_VERSION,
+        "schema": KEY_SCHEMA_VERSION,
         "hardware": to_jsonable(hardware),
         "scheduler": scheduler,
         "workload": to_jsonable(workload),
@@ -166,81 +187,104 @@ def tuning_result_from_dict(data: dict[str, Any]) -> TuningResult:
 # The cache itself
 # ---------------------------------------------------------------------- #
 class ResultCache:
-    """Directory-backed tuning-result cache.
+    """Tuning-result cache over a pluggable :class:`~repro.store.ResultStore`.
 
     Parameters
     ----------
-    cache_dir:
-        Directory holding one ``<key>.json`` file per entry.  ``None``
-        disables the cache entirely (every lookup misses, stores are no-ops),
-        which keeps call sites free of ``if cache`` branching.
+    target:
+        Where entries live: a directory path (the historical JSON-file
+        format) or a store URI — ``dir:/path``, ``sqlite:///path.db``,
+        optionally with ``?max_entries=``/``?max_bytes=`` eviction caps (see
+        :mod:`repro.store.uri`).  ``None`` disables the cache entirely (every
+        lookup misses, stores are no-ops), which keeps call sites free of
+        ``if cache`` branching.
     enabled:
         Explicit off switch (the ``--no-cache`` CLI flag) that wins even when
-        a directory is configured.
+        a target is configured.
+
+    Counters
+    --------
+    ``hits`` / ``misses`` count usable lookups; ``stale`` counts entries that
+    exist but carry an unusable schema — reported separately because a stale
+    entry is lost *work* (likely a version skew), not a cold cache.  Entries
+    written under an old-but-upgradeable layout are converted in place on
+    read and count as hits.
     """
 
-    def __init__(self, cache_dir: str | Path | None, enabled: bool = True) -> None:
-        self.cache_dir = Path(cache_dir).expanduser() if cache_dir is not None else None
-        self.enabled = enabled and self.cache_dir is not None
+    def __init__(self, target: str | Path | None, enabled: bool = True) -> None:
+        self.backend = open_store(target) if enabled else None
+        self.enabled = self.backend is not None
         self.hits = 0
         self.misses = 0
+        self.stale = 0
 
-    def _path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{key}.json"
+    @property
+    def cache_dir(self) -> Path | None:
+        """Root directory when backed by a JSON-directory store (else ``None``)."""
+        return self.backend.root if isinstance(self.backend, JsonDirStore) else None
 
     def load(self, key: str) -> TuningResult | None:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
-        if not self.enabled:
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Schema-stale entries also return ``None`` but are tallied in
+        ``stale`` rather than ``misses``.
+        """
+        if self.backend is None:
             return None
-        try:
-            payload = json.loads(self._path(key).read_text())
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError(f"cache schema {payload.get('schema')!r}")
-            result = tuning_result_from_dict(payload["tuning"])
-        except FileNotFoundError:
+        payload, status = self.backend.lookup(key)
+        if status == "stale":
+            self.stale += 1
+            return None
+        if payload is None:
             self.misses += 1
             return None
-        except (KeyError, TypeError, ValueError):  # corrupt or stale entry
+        try:
+            result = tuning_result_from_dict(payload["tuning"])
+        except (KeyError, TypeError, ValueError):  # corrupt tuning blob
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def store(self, key: str, result: TuningResult) -> Path | None:
-        """Persist ``result`` under ``key`` (atomic write); returns the path."""
-        if not self.enabled:
+    def store(self, key: str, result: TuningResult, suite: str | None = None) -> Any:
+        """Persist ``result`` under ``key``; returns a backend token (path).
+
+        ``suite`` (the sweep's suite name, if any) is recorded in the entry
+        metadata so indexed backends can answer per-suite queries; it is not
+        part of the key — identical shapes reached through different suites
+        still share one entry.
+        """
+        if self.backend is None:
             return None
-        assert self.cache_dir is not None
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "key": key,
-            "tuning": tuning_result_to_dict(result),
-        }
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp, path)
-        return path
+        payload = make_payload(key, tuning_result_to_dict(result), suite=suite)
+        return self.backend.put(key, payload)
+
+    def stats(self) -> dict[str, int]:
+        """This process's lookup counters (hits / misses / stale)."""
+        return {"hits": self.hits, "misses": self.misses, "stale": self.stale}
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent; counters survive).
+
+        Closing promptly matters beyond hygiene: SQLite connections must not
+        be carried across ``fork()``, so a serial sweep has to drop its
+        connection before a :class:`~repro.exec.runner.ParallelRunner` forks
+        pool workers — an inherited connection being garbage-collected in a
+        child can tear down WAL state other processes are still reading.
+        """
+        if self.backend is not None:
+            self.backend.close()
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number of files removed."""
-        if self.cache_dir is None or not self.cache_dir.is_dir():
-            return 0
-        removed = 0
-        for path in self.cache_dir.glob("*.json"):
-            path.unlink()
-            removed += 1
-        return removed
+        """Delete every cache entry; returns the number of entries removed."""
+        return self.backend.clear() if self.backend is not None else 0
 
     def __len__(self) -> int:
-        if self.cache_dir is None or not self.cache_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return len(self.backend) if self.backend is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        location = self.backend.uri() if self.backend is not None else None
         return (
-            f"ResultCache(dir={str(self.cache_dir)!r}, enabled={self.enabled}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ResultCache(store={location!r}, enabled={self.enabled}, "
+            f"hits={self.hits}, misses={self.misses}, stale={self.stale})"
         )

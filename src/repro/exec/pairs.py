@@ -65,6 +65,13 @@ class MethodRun:
     tuning: TuningResult | None = None
     #: Whether the tuning came from the persistent result cache (no search ran).
     cached: bool = False
+    #: The executing process's cache counters for this pair
+    #: (``{"hits", "misses", "stale"}``).  Pool workers create their own
+    #: :class:`~repro.exec.cache.ResultCache`, so without this the parent
+    #: runner could not account for lookups performed on its behalf —
+    #: :meth:`~repro.exec.runner.ExperimentRunner.cache_stats` aggregates it.
+    #: ``None`` when no cache lookup happened (untuned/unsearchable pairs).
+    store_stats: dict[str, int] | None = None
 
     @property
     def cycles(self) -> int:
@@ -96,8 +103,12 @@ class PairSpec:
     metric: Metric = "cycles"
     seed: int = 0
     use_search: bool = True
-    cache_dir: str | None = None
+    #: Persistent result-store target: a directory path (JSON-file store) or
+    #: a store URI such as ``sqlite:///path.db`` (see :mod:`repro.store.uri`).
+    cache_uri: str | None = None
     use_cache: bool = True
+    #: Suite name recorded in stored entry metadata (never part of the key).
+    suite: str | None = None
     #: Intra-search evaluation workers and pool backend.  Deliberately *not*
     #: part of the tuning cache key: batched evaluation is bit-identical to
     #: serial, so a result tuned at any worker count serves them all.
@@ -122,30 +133,38 @@ def execute_pair(spec: PairSpec) -> MethodRun:
 
     tuning: TuningResult | None = None
     cached = False
+    store_stats: dict[str, int] | None = None
     if spec.use_search and scheduler.searchable:
         strategy = spec.strategy or default_strategy(spec.hardware)
         # scheduler.name, not spec.method: the registry lookup is
         # case-insensitive, and the seed must not depend on the spelling.
         seed = pair_seed(spec.seed, scheduler.name, entry_name)
-        cache = ResultCache(spec.cache_dir, enabled=spec.use_cache)
+        cache = ResultCache(spec.cache_uri, enabled=spec.use_cache)
         key = tuning_cache_key(
             spec.hardware, scheduler.name, workload, strategy, spec.budget, spec.metric, seed
         )
-        tuning = cache.load(key)
-        if tuning is None:
-            tuner = AutoTuner(
-                spec.hardware,
-                strategy=strategy,
-                budget=spec.budget,
-                metric=spec.metric,
-                seed=seed,
-                workers=spec.search_workers,
-                parallel_backend=spec.search_backend,
-            )
-            tuning = tuner.tune(scheduler, workload)
-            cache.store(key, tuning)
-        else:
-            cached = True
+        try:
+            tuning = cache.load(key)
+            if tuning is None:
+                tuner = AutoTuner(
+                    spec.hardware,
+                    strategy=strategy,
+                    budget=spec.budget,
+                    metric=spec.metric,
+                    seed=seed,
+                    workers=spec.search_workers,
+                    parallel_backend=spec.search_backend,
+                )
+                tuning = tuner.tune(scheduler, workload)
+                cache.store(key, tuning, suite=spec.suite)
+            else:
+                cached = True
+            if cache.enabled:
+                store_stats = cache.stats()
+        finally:
+            # Always release the backend before returning: a lingering SQLite
+            # connection in this process is a hazard for any later fork().
+            cache.close()
         tiling = tuning.best_tiling
     else:
         tiling = scheduler.default_tiling(workload)
@@ -157,4 +176,5 @@ def execute_pair(spec: PairSpec) -> MethodRun:
         result=result,
         tuning=tuning,
         cached=cached,
+        store_stats=store_stats,
     )

@@ -6,8 +6,10 @@ method tuned per network and then simulated with its best tiling — so the
 the individual harnesses only reshape the results into their table/figure
 form.  On top of that this module adds:
 
-* a persistent on-disk result cache (``cache_dir``) so repeated sweeps across
-  process starts skip the tiling search entirely;
+* a persistent result store (``cache_dir`` / ``cache_uri`` /
+  ``$MAS_CACHE_URI``; JSON directory or shared SQLite, see
+  :mod:`repro.store`) so repeated sweeps across process starts skip the
+  tiling search entirely;
 * :class:`ParallelRunner`, a drop-in subclass that fans the matrix out over a
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Per-pair seeds are
   derived deterministically (:func:`~repro.exec.pairs.pair_seed`), so parallel
@@ -22,6 +24,7 @@ form.  On top of that this module adds:
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,6 +36,7 @@ from repro.hardware.presets import simulated_edge_device
 from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
 from repro.search.parallel import resolve_backend, resolve_workers
+from repro.store import MAS_CACHE_URI_ENV, open_store
 from repro.utils.validation import check_positive_int
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.suites import WorkloadSuite, get_suite
@@ -75,10 +79,16 @@ class ExperimentRunner:
     metric:
         Tuning objective (``"cycles"``, ``"energy"`` or ``"edp"``).
     cache_dir:
-        Directory of the persistent tuning-result cache; ``None`` (default)
-        keeps results in-memory only.
+        Directory of the persistent tuning-result cache (the JSON-file
+        backend); ``None`` defers to ``cache_uri``.
+    cache_uri:
+        Result-store URI — ``dir:/path``, ``sqlite:///path.db``, optionally
+        with ``?max_entries=``/``?max_bytes=`` eviction caps (see
+        :mod:`repro.store.uri`).  Takes precedence over ``cache_dir``; when
+        neither is given, ``$MAS_CACHE_URI`` supplies the default, and with
+        that unset too results stay in-memory only.
     use_cache:
-        Off switch for the persistent cache even when ``cache_dir`` is set.
+        Off switch for the persistent cache even when a target is set.
     search_workers:
         Candidate-evaluation workers *within* each pair's tiling search;
         ``None`` defers to ``$MAS_SEARCH_WORKERS`` (default 1).  Tuning
@@ -102,6 +112,7 @@ class ExperimentRunner:
     seed: int = 0
     metric: Metric = "cycles"
     cache_dir: str | Path | None = None
+    cache_uri: str | None = None
     use_cache: bool = True
     search_workers: int | None = None
     search_backend: str | None = None
@@ -115,6 +126,15 @@ class ExperimentRunner:
         # a malformed suite spec before any pair executes.
         resolve_workers(self.search_workers)
         resolve_backend(self.search_backend)
+        # ... and on a malformed store URI (explicit or $MAS_CACHE_URI):
+        # opening a store is lazy/cheap and raises on bad schemes or policies.
+        # With the cache switched off no store will ever be opened, so a
+        # broken URI must not block the run either (--no-cache is the escape
+        # hatch from exactly that kind of misconfiguration).
+        if self.use_cache:
+            probe = open_store(self.cache_target)
+            if probe is not None:
+                probe.close()
         self._workload_suite = get_suite(self.suite if self.suite is not None else "table1")
 
     @property
@@ -126,6 +146,20 @@ class ExperimentRunner:
     def suite_name(self) -> str:
         """Name of the resolved suite (``"table1"`` by default)."""
         return self._workload_suite.name
+
+    @property
+    def cache_target(self) -> str | None:
+        """The resolved persistent-store target of this runner.
+
+        Precedence: explicit ``cache_uri``, then ``cache_dir`` (a plain
+        directory, the historical JSON-file format), then the
+        ``$MAS_CACHE_URI`` environment default.
+        """
+        if self.cache_uri is not None:
+            return self.cache_uri
+        if self.cache_dir is not None:
+            return str(self.cache_dir)
+        return os.environ.get(MAS_CACHE_URI_ENV, "").strip() or None
 
     # ------------------------------------------------------------------ #
     def methods(self, subset: list[str] | None = None) -> list[str]:
@@ -169,8 +203,9 @@ class ExperimentRunner:
             metric=self.metric,
             seed=self.seed,
             use_search=self.use_search,
-            cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
+            cache_uri=self.cache_target,
             use_cache=self.use_cache,
+            suite=self.suite_name,
             search_workers=self.search_workers,
             search_backend=self.search_backend,
             workload=entry.workload,
@@ -231,18 +266,31 @@ class ExperimentRunner:
     def cache_stats(self) -> dict[str, int]:
         """Search/cache accounting over every run executed so far.
 
-        ``search_evaluations`` counts only evaluations actually performed in
-        this process — a warm-cache sweep reports zero even though the cached
+        ``search_evaluations`` counts only evaluations actually performed for
+        this runner — a warm-cache sweep reports zero even though the cached
         histories carry their original evaluation records.  It reports the
         objective-level count (every non-memoized candidate, infeasible ones
         included), not the history length, which double-counts memoized
         re-visits and used to *under*-count infeasible simulations.
+
+        ``cache_hits`` / ``cache_misses`` / ``cache_stale`` aggregate the
+        store counters each run's *executing process* recorded
+        (:attr:`MethodRun.store_stats`) — pool workers of a
+        :class:`ParallelRunner` open their own cache, so summing the parent's
+        own counters (which are always zero there) would undercount every
+        parallel sweep.
         """
         runs = list(self._runs.values())
         searched = [r for r in runs if r.tuned and not r.cached]
+        store_totals = {"hits": 0, "misses": 0, "stale": 0}
+        for run in runs:
+            for counter, count in (run.store_stats or {}).items():
+                store_totals[counter] = store_totals.get(counter, 0) + count
         return {
             "runs": len(runs),
             "cache_hits": sum(1 for r in runs if r.cached),
+            "cache_misses": store_totals["misses"],
+            "cache_stale": store_totals["stale"],
             "searches": len(searched),
             "search_evaluations": sum(
                 r.tuning.objective_evaluations

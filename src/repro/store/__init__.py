@@ -1,0 +1,53 @@
+"""Pluggable result-store subsystem: where tuning results live at scale.
+
+The execution layer's persistent cache (:mod:`repro.exec.cache`) used to be
+welded to one directory-of-JSON-files format; this package turns the storage
+side into a swappable backend behind one interface:
+
+* :mod:`repro.store.base` — the :class:`ResultStore` contract (schema-aware
+  ``lookup``/``put``, ``stats``, LRU ``evict``, ``clear``, ``keys``);
+* :mod:`repro.store.jsondir` — today's ``<key>.json`` directory format,
+  bit-compatible with caches written before this subsystem existed, still
+  the default;
+* :mod:`repro.store.sqlite` — a single-file SQLite database in WAL mode,
+  safe for concurrent sweep workers and indexed for cross-entry queries;
+* :mod:`repro.store.eviction` — size- and count-capped LRU eviction shared
+  by all backends;
+* :mod:`repro.store.schema` — entry payload versioning plus the lossless
+  v2 -> v3 upgrader;
+* :mod:`repro.store.migrate` — copying whole stores across backends
+  (``jsondir <-> sqlite``) with zero entry loss;
+* :mod:`repro.store.uri` — ``dir:/path`` / ``sqlite:///path.db`` URIs (plus
+  ``?max_entries=``/``?max_bytes=`` policy parameters) so one string —
+  ``--cache``, ``$MAS_CACHE_URI`` — selects backend, location and policy.
+"""
+
+from repro.store.base import EntryInfo, ResultStore, StoreStats
+from repro.store.eviction import EvictionPolicy, parse_size, plan_eviction
+from repro.store.jsondir import JsonDirStore
+from repro.store.migrate import MigrationReport, migrate_store
+from repro.store.schema import (
+    ENTRY_SCHEMA_VERSION,
+    make_payload,
+    normalize_payload,
+)
+from repro.store.sqlite import SqliteStore
+from repro.store.uri import MAS_CACHE_URI_ENV, open_store
+
+__all__ = [
+    "ENTRY_SCHEMA_VERSION",
+    "EntryInfo",
+    "EvictionPolicy",
+    "JsonDirStore",
+    "MAS_CACHE_URI_ENV",
+    "MigrationReport",
+    "ResultStore",
+    "SqliteStore",
+    "StoreStats",
+    "make_payload",
+    "migrate_store",
+    "normalize_payload",
+    "open_store",
+    "parse_size",
+    "plan_eviction",
+]

@@ -1,0 +1,226 @@
+"""Single-file SQLite result store: shared, indexed, eviction-friendly.
+
+The scalable backend of the result-store subsystem: one ``.db`` file in WAL
+mode holds every entry, safe for the concurrent worker processes of a
+:class:`~repro.exec.runner.ParallelRunner` (WAL readers never block the
+writer; writers serialize through a busy-timeout).  Compared to a directory
+of JSON files it adds
+
+* **indexed metadata** — scheduler / workload / strategy / suite columns are
+  extracted from each payload and indexed, so ``cache ls``-style queries and
+  fleet dashboards don't parse every blob;
+* **cheap LRU accounting** — ``last_used`` / ``size_bytes`` columns make
+  eviction one ordered query instead of a directory scan;
+* **one file to share** — a single DB can be mounted, copied or served to a
+  whole fleet, which is the stepping stone to a server-backed store.
+
+Every worker process opens its own connection (connections are created from
+the store URI inside the worker, never pickled).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.store.base import EntryInfo, ResultStore
+from repro.store.eviction import EvictionPolicy
+from repro.store.schema import entry_meta, normalize_payload
+
+__all__ = ["SqliteStore"]
+
+#: Layout version of the database itself (tables/columns, not entry payloads).
+DB_FORMAT_VERSION = 1
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    key        TEXT PRIMARY KEY,
+    schema     INTEGER,
+    scheduler  TEXT,
+    workload   TEXT,
+    strategy   TEXT,
+    suite      TEXT,
+    payload    TEXT NOT NULL,
+    size_bytes INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    last_used  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entries_scheduler ON entries (scheduler);
+CREATE INDEX IF NOT EXISTS idx_entries_workload  ON entries (workload);
+CREATE INDEX IF NOT EXISTS idx_entries_strategy  ON entries (strategy);
+CREATE INDEX IF NOT EXISTS idx_entries_suite     ON entries (suite);
+CREATE INDEX IF NOT EXISTS idx_entries_last_used ON entries (last_used);
+"""
+
+
+class SqliteStore(ResultStore):
+    """Result store over a single SQLite database file (WAL mode)."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: str | Path, policy: EvictionPolicy | None = None) -> None:
+        super().__init__(policy)
+        self.path = Path(path).expanduser()
+        self._conn: sqlite3.Connection | None = None
+
+    def uri(self) -> str:
+        path = str(self.path)
+        # ``sqlite:///abs/path.db`` for absolute paths, ``sqlite:rel.db`` else.
+        base = f"sqlite://{path}" if path.startswith("/") else f"sqlite:{path}"
+        return base + self.policy.as_query()
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+            conn.execute("PRAGMA busy_timeout = 30000")
+            try:
+                conn.execute("PRAGMA journal_mode = WAL")
+                conn.execute("PRAGMA synchronous = NORMAL")
+            except sqlite3.DatabaseError:
+                pass  # odd filesystem or not-a-database file; reads decide below
+            try:
+                with conn:
+                    conn.executescript(_SCHEMA_SQL)
+                    conn.execute(
+                        "INSERT OR IGNORE INTO store_meta (name, value) VALUES (?, ?)",
+                        ("db_format", str(DB_FORMAT_VERSION)),
+                    )
+            except sqlite3.DatabaseError:
+                # Read-only database (a mounted fleet cache, a CI artifact):
+                # serve whatever schema it already carries — lookups must
+                # work; writes will fail loudly at the call that attempts
+                # them, exactly like a read-only JSON directory.
+                pass
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Workers rebuild the connection from the path; never pickle handles.
+        return {"path": self.path, "policy": self.policy, "_conn": None}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------ #
+    # Backend primitives
+    # ------------------------------------------------------------------ #
+    def read(self, key: str) -> dict[str, Any] | None:
+        try:
+            row = self._connect().execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            # No entries table (a read-only file that was never a store) or
+            # a file that is not a SQLite database at all: nothing usable is
+            # stored there, so every lookup is a plain miss.
+            return None
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except json.JSONDecodeError:  # pragma: no cover - requires external corruption
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def write(self, key: str, payload: dict[str, Any]) -> Path:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        normalized, status = normalize_payload(payload)
+        usable = status in ("ok", "upgraded")
+        meta = entry_meta(normalized if usable else {})
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute(
+                """
+                INSERT INTO entries
+                    (key, schema, scheduler, workload, strategy, suite,
+                     payload, size_bytes, created_at, last_used)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (key) DO UPDATE SET
+                    schema = excluded.schema,
+                    scheduler = excluded.scheduler,
+                    workload = excluded.workload,
+                    strategy = excluded.strategy,
+                    suite = excluded.suite,
+                    payload = excluded.payload,
+                    size_bytes = excluded.size_bytes,
+                    last_used = excluded.last_used
+                """,
+                (
+                    key,
+                    # NULL for stale payloads, so stats/ls agree with lookup
+                    payload.get("schema") if usable else None,
+                    meta["scheduler"],
+                    meta["workload"],
+                    meta["strategy"],
+                    meta["suite"],
+                    text,
+                    len(text.encode()),
+                    now,
+                    now,
+                ),
+            )
+        return self.path
+
+    def delete(self, key: str) -> bool:
+        with self._connect() as conn:
+            cursor = conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        return cursor.rowcount > 0
+
+    def keys(self) -> list[str]:
+        try:
+            return [row[0] for row in self._connect().execute("SELECT key FROM entries")]
+        except sqlite3.DatabaseError:  # schema-less or not-a-database file
+            return []
+
+    def touch(self, key: str) -> None:
+        try:
+            with self._connect() as conn:
+                conn.execute(
+                    "UPDATE entries SET last_used = ? WHERE key = ?", (time.time(), key)
+                )
+        except sqlite3.DatabaseError:
+            # Read-only or unusable database file: LRU freshness is
+            # best-effort, the lookup that triggered the touch must not fail.
+            pass
+
+    def clear(self) -> int:
+        # One statement instead of the base class's per-key DELETEs (each an
+        # auto-committed write): clearing a fleet-sized store stays O(1) round
+        # trips.
+        with self._connect() as conn:
+            cursor = conn.execute("DELETE FROM entries")
+        return cursor.rowcount
+
+    def entries(self, **filters: str | None) -> list[EntryInfo]:
+        """Entry metadata; filters become indexed equality constraints."""
+        active = self._check_entry_filters(filters)
+        clauses = [f"{column} = ?" for column in active]
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        try:
+            rows = self._connect().execute(
+                "SELECT key, schema, scheduler, workload, strategy, suite, "
+                f"size_bytes, last_used FROM entries{where}",
+                list(active.values()),
+            )
+        except sqlite3.DatabaseError:  # schema-less or not-a-database file
+            return []
+        return [EntryInfo(*row) for row in rows]
+
+    def _list_entries(self) -> list[EntryInfo]:
+        return self.entries()

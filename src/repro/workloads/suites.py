@@ -19,6 +19,9 @@ Suite                Contents
                      cross-attention over a full encoder sequence
 ``long-context``     2K-32K sequence lengths at two representative head/emb
                      configurations (BERT-Base- and Llama3-8B-like)
+``decode-step``      autoregressive serving: one decoded query (``seq_q=1``)
+                     attending a full KV cache of the network's Table-1
+                     sequence length, for every Table-1 shape
 ===================  =========================================================
 
 Inline *suite specs* derive new suites on the fly without registering them::
@@ -256,11 +259,35 @@ def _long_context() -> WorkloadSuite:
     )
 
 
+def _decode_step() -> WorkloadSuite:
+    # One decode step of autoregressive serving: a single new query token
+    # attends the whole KV cache, here at the network's Table-1 sequence
+    # length.  Batch stays 1 (compose with @batch=N for batched serving).
+    entries = []
+    for name in list_networks():
+        cfg = get_network(name)
+        entries.append(
+            SuiteEntry(
+                f"{name} @dec",
+                AttentionWorkload(heads=cfg.heads, seq_q=1, seq_kv=cfg.seq, emb=cfg.emb),
+            )
+        )
+    return WorkloadSuite(
+        name="decode-step",
+        description=(
+            "seq_q=1 decode-step serving shapes: one query token attending the "
+            "full Table-1-length KV cache, per network"
+        ),
+        entries=tuple(entries),
+    )
+
+
 _BUILTIN_SUITES = {
     "table1": _table1,
     "table1-batched": _table1_batched,
     "cross-attention": _cross_attention,
     "long-context": _long_context,
+    "decode-step": _decode_step,
 }
 
 

@@ -40,6 +40,38 @@ class TestParser:
         defaults = build_parser().parse_args(["fig6"])
         assert defaults.jobs == 1 and not defaults.no_cache
 
+    def test_cache_uri_flag_parses(self):
+        args = build_parser().parse_args(["table2", "--cache", "sqlite:///tmp/c.db"])
+        assert args.cache_uri == "sqlite:///tmp/c.db"
+        assert build_parser().parse_args(["fig7"]).cache_uri is None
+
+    def test_sweeps_and_cache_group_resolve_env_identically(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """With both env vars set, a sweep and `cache stats` use one store."""
+        monkeypatch.setenv("MAS_CACHE_URI", f"sqlite:///{tmp_path}/env.db")
+        monkeypatch.setenv("MAS_CACHE_DIR", str(tmp_path / "legacy"))
+        assert main(["table2", "--budget", "4", "--networks", "ViT-B/14"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries : 5" in out and "env.db" in out
+        assert not (tmp_path / "legacy").exists()
+
+    def test_explicit_cache_dir_beats_env_uri(self, tmp_path, monkeypatch):
+        """$MAS_CACHE_URI is the *fallback*: an explicit --cache-dir wins."""
+        monkeypatch.setenv("MAS_CACHE_URI", f"sqlite:///{tmp_path}/env.db")
+        explicit = tmp_path / "explicit"
+        assert (
+            main(
+                ["table2", "--budget", "4", "--networks", "ViT-B/14",
+                 "--cache-dir", str(explicit)]
+            )
+            == 0
+        )
+        assert len(list(explicit.glob("*.json"))) == 5
+        assert not (tmp_path / "env.db").exists()
+
     def test_search_flags_parse(self):
         args = build_parser().parse_args(
             ["table2", "--search-workers", "4", "--search-backend", "process", "--stream"]
@@ -169,3 +201,77 @@ class TestSuiteCli:
         assert code == 0
         captured = capsys.readouterr()
         assert "[1/6]" in captured.err and "sd.mid.xattn" in captured.err
+
+    def test_suites_command_lists_decode_step(self, capsys):
+        assert main(["suites", "decode-step"]) == 0
+        out = capsys.readouterr().out
+        assert "XLM @dec" in out and "decode-step" in out
+
+
+class TestCacheCli:
+    """The ``mas-attention cache`` group: stats / ls / migrate / evict / clear."""
+
+    @pytest.fixture
+    def warm_dir(self, tmp_path):
+        """A small jsondir cache populated by a real (tiny) sweep."""
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                ["table2", "--budget", "4", "--networks", "ViT-B/14",
+                 "--cache", f"dir:{cache_dir}"]
+            )
+            == 0
+        )
+        return cache_dir
+
+    def test_cache_requires_subcommand_and_target(self, monkeypatch):
+        monkeypatch.delenv("MAS_CACHE_URI", raising=False)
+        monkeypatch.delenv("MAS_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["cache"])
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["cache", "stats"])
+        # a whitespace-only target is as good as none: same clear error
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["cache", "stats", "--cache", "  "])
+
+    def test_stats_and_ls(self, warm_dir, capsys):
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", f"dir:{warm_dir}"]) == 0
+        out = capsys.readouterr().out
+        assert "entries : 5" in out and "backend : jsondir" in out and "stale   : 0" in out
+
+        assert main(["cache", "ls", "--cache", str(warm_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "ViT-B/14" in out and "mas" in out and "table1" in out
+
+        assert main(["cache", "ls", "--cache", str(warm_dir), "--scheduler", "mas"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+
+    def test_migrate_evict_clear(self, warm_dir, tmp_path, capsys):
+        db_uri = f"sqlite:///{tmp_path}/c.db"
+        capsys.readouterr()
+        assert main(["cache", "migrate", f"dir:{warm_dir}", db_uri]) == 0
+        assert "migrated 5 entries" in capsys.readouterr().out
+
+        # the migrated store serves a warm sweep: zero searches
+        assert (
+            main(
+                ["table2", "--budget", "4", "--networks", "ViT-B/14",
+                 "--cache", db_uri, "--stream"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.err.count("(cached)") == 5
+
+        assert main(["cache", "evict", "--cache", db_uri, "--max-entries", "2"]) == 0
+        assert "evicted 3 entries; 2 remain" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache", db_uri]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_evict_without_caps_errors(self, warm_dir):
+        with pytest.raises(SystemExit, match="nothing to enforce"):
+            main(["cache", "evict", "--cache", str(warm_dir)])

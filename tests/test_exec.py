@@ -231,15 +231,17 @@ class TestResultCache:
             assert cache.load("k") is None
             assert len(cache) == 0 and cache.hits == 0
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path, tuning):
+    def test_corrupt_entry_is_a_miss_but_stale_is_counted(self, tmp_path, tuning):
         cache = ResultCache(tmp_path)
         cache.store("k", tuning)
         (tmp_path / "k.json").write_text("not json at all")
-        assert cache.load("k") is None
-        stale = {"schema": -1, "key": "k2", "tuning": {}}
+        assert cache.load("k") is None  # unparseable garbage: a plain miss
+        stale = {"schema": 99, "key": "k2", "tuning": {}}
         (tmp_path / "k2.json").write_text(json.dumps(stale))
-        assert cache.load("k2") is None
-        assert cache.misses == 2
+        assert cache.load("k2") is None  # unknown schema: stale, not a miss
+        assert cache.misses == 1
+        assert cache.stale == 1
+        assert cache.stats() == {"hits": 0, "misses": 1, "stale": 1}
 
     def test_clear(self, tmp_path, tuning):
         cache = ResultCache(tmp_path)

@@ -187,7 +187,10 @@ class TestWorkloadSuites:
             "long-context",
         }
 
-    @pytest.mark.parametrize("name", ["table1", "table1-batched", "cross-attention", "long-context"])
+    @pytest.mark.parametrize(
+        "name",
+        ["table1", "table1-batched", "cross-attention", "long-context", "decode-step"],
+    )
     def test_suite_invariants(self, name):
         """Unique entry names, positive shape fields, name-normalized workloads."""
         suite = get_suite(name)
@@ -232,6 +235,47 @@ class TestWorkloadSuites:
         assert seqs == sorted(LONG_CONTEXT_SEQS)
         assert min(seqs) == 2048 and max(seqs) == 32768
         assert all(e.workload.seq_q == e.workload.seq_kv for e in suite)
+
+    def test_decode_step_is_one_query_over_table1_kv(self):
+        """decode-step: seq_q=1, KV cache at the network's Table-1 length."""
+        suite = get_suite("decode-step")
+        assert len(suite) == len(list_networks())
+        for name in list_networks():
+            entry = suite.get_entry(f"{name} @dec")
+            cfg = get_network(name)
+            wl = entry.workload
+            assert wl.seq_q == 1
+            assert wl.seq_kv == cfg.seq
+            assert wl.heads == cfg.heads and wl.emb == cfg.emb
+            assert wl.batch == 1
+            assert wl.is_cross_attention  # seq_q != seq_kv by construction
+
+    def test_decode_step_aliases_and_modifiers(self):
+        suite = get_suite("decode-step")
+        # &-joined Table-1 names resolve from either side, tag included
+        assert suite.get_entry("T5-Base @dec").name == "BERT-Base & T5-Base @dec"
+        # composes with @batch=N for batched serving sweeps
+        batched = get_suite("decode-step@batch=8")
+        entry = batched.get_entry("XLM @dec @b8")
+        assert entry.workload.batch == 8 and entry.workload.seq_q == 1
+        # seq filters key on the KV length (max of the two seqs)
+        short = get_suite("decode-step@seq<=256")
+        assert all(e.workload.seq_kv <= 256 for e in short)
+        assert len(short) > 0
+
+    def test_decode_step_cache_keys_distinct_from_prefill(self):
+        """A decode entry never collides with the full self-attention shape."""
+        from repro.exec import tuning_cache_key
+        from repro.hardware.presets import simulated_edge_device
+
+        hw = simulated_edge_device()
+        decode = get_suite("decode-step").workload_for("XLM @dec")
+        prefill = get_suite("table1").workload_for("XLM")
+        keys = {
+            tuning_cache_key(hw, "mas", wl, "mcts+ga", 10, "cycles", 0)
+            for wl in (decode, prefill)
+        }
+        assert len(keys) == 2
 
     def test_with_batch_round_trip(self):
         suite = get_suite("table1")
