@@ -25,6 +25,7 @@ import time
 from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
 from repro.hardware.presets import simulated_edge_device
 from repro.search.autotuner import AutoTuner, TuningResult
+from repro.service import running_server, server_url
 from repro.store import JsonDirStore, SqliteStore, migrate_store
 from repro.workloads.networks import get_network
 
@@ -106,12 +107,15 @@ def test_parallel_runner_and_result_cache(benchmark, tmp_path_factory):
 
 
 def test_result_store_backends(benchmark, tmp_path_factory):
-    """Warm-sweep wall time per store backend: JSON directory vs SQLite.
+    """Warm-sweep wall time per store backend: JSON directory, SQLite, HTTP.
 
     One cold sweep populates a JSON-directory cache, which is then migrated
-    (zero entry loss) into a SQLite store; both backends must serve a
-    bit-identical warm sweep with zero searches.  The benchmarked path is the
-    SQLite warm sweep — the shared-store steady state.
+    (zero entry loss) into a SQLite store; that store is additionally served
+    over a local ``mas-attention serve``-equivalent HTTP service.  All three
+    backends must serve a bit-identical warm sweep with zero searches.  The
+    benchmarked path is the SQLite warm sweep — the shared-store steady
+    state — with the HTTP warm sweep reported alongside as the fleet
+    steady state (its delta over SQLite is the round-trip cost).
     """
     root = tmp_path_factory.mktemp("store-bench")
     kwargs = dict(search_budget=SEARCH_BUDGET, seed=0)
@@ -136,6 +140,12 @@ def test_result_store_backends(benchmark, tmp_path_factory):
     assert dir_stats["searches"] == db_stats["searches"] == 0
     assert dir_stats["cache_misses"] == db_stats["cache_misses"] == 0
 
+    with running_server(SqliteStore(root / "store.db")) as server:
+        t_http, warm_http, http_stats = warm(server_url(server))
+        assert _fingerprint(warm_http) == reference
+        assert http_stats["searches"] == 0 and http_stats["cache_misses"] == 0
+        service_metrics = server.service.metrics.snapshot()
+
     result = benchmark.pedantic(
         lambda: warm(f"sqlite:///{root / 'store.db'}")[1], rounds=1, iterations=1
     )
@@ -146,9 +156,18 @@ def test_result_store_backends(benchmark, tmp_path_factory):
     print(f"cold (jsondir)    : {t_cold:8.2f} s  ({report.migrated} entries migrated)")
     print(f"warm jsondir      : {t_dir:8.2f} s")
     print(f"warm sqlite       : {t_db:8.2f} s")
+    print(
+        f"warm http         : {t_http:8.2f} s  "
+        f"({service_metrics['hits']} served hits, "
+        f"{service_metrics['requests']['POST /lookup']['mean_ms']:.2f} ms/lookup)"
+    )
     benchmark.extra_info["cold_s"] = round(t_cold, 3)
     benchmark.extra_info["warm_jsondir_s"] = round(t_dir, 3)
     benchmark.extra_info["warm_sqlite_s"] = round(t_db, 3)
+    benchmark.extra_info["warm_http_s"] = round(t_http, 3)
+    benchmark.extra_info["http_mean_lookup_ms"] = round(
+        service_metrics["requests"]["POST /lookup"]["mean_ms"], 3
+    )
     benchmark.extra_info["migrated_entries"] = report.migrated
 
 

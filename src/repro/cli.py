@@ -25,6 +25,10 @@ Examples
    $ mas-attention cache stats --cache sqlite:///cache.db    # inspect the store
    $ mas-attention cache migrate dir:./cache sqlite:///cache.db
    $ mas-attention cache evict --cache sqlite:///cache.db --max-bytes 1GiB
+   $ mas-attention serve sqlite:///cache.db --port 8787      # fleet store service
+   $ mas-attention table2 --cache http://cachehost:8787      # sweep against it
+   $ mas-attention suites --suites-file my_suites.json       # user suites
+   $ mas-attention table2 --suite gqa                        # GQA/MQA shapes
 """
 
 from __future__ import annotations
@@ -57,11 +61,11 @@ from repro.analysis import (
 )
 from repro.hardware.presets import get_preset
 from repro.schedulers.registry import list_schedulers, make_scheduler
-from repro.store import EvictionPolicy, migrate_store, open_store, parse_size
+from repro.store import EvictionPolicy, HttpStore, migrate_store, open_store, parse_size
 from repro.utils.serialization import dump_json, to_jsonable
 from repro.utils.units import bytes_to_human
 from repro.workloads.networks import get_network, table1_rows
-from repro.workloads.suites import get_suite, list_suites
+from repro.workloads.suites import get_suite, list_suites, use_suites_file
 
 __all__ = ["main", "build_parser"]
 
@@ -95,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="re-batch every suite entry (shorthand for @batch=N on --suite)",
         )
+        p.add_argument(
+            "--suites-file",
+            default=None,
+            help="JSON/TOML file of user-registered workload suites "
+            "(default: $MAS_SUITES_FILE); registered names work with --suite",
+        )
         p.add_argument("--json", dest="json_path", default=None, help="also dump results as JSON")
         p.add_argument(
             "--jobs",
@@ -111,7 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache",
             dest="cache_uri",
             default=None,
-            help="result-store URI: dir:/path or sqlite:///path.db, optionally "
+            help="result-store URI: dir:/path, sqlite:///path.db or "
+            "http://host:8787 (a running 'mas-attention serve'), optionally "
             "with ?max_entries=N&max_bytes=SIZE eviction caps (precedence: "
             "--cache, then --cache-dir, then $MAS_CACHE_URI, then "
             "$MAS_CACHE_DIR)",
@@ -146,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suites", help="list workload suites (or one suite's entries)")
     p.add_argument(
         "spec", nargs="?", default=None, help="suite name or inline spec to expand"
+    )
+    p.add_argument(
+        "--suites-file",
+        default=None,
+        help="JSON/TOML file of user-registered workload suites "
+        "(default: $MAS_SUITES_FILE)",
     )
 
     p = sub.add_parser("compare", help="untuned comparison of all methods on one network")
@@ -228,6 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     cp = cache_sub.add_parser("clear", help="delete every entry of the store")
     add_cache_target(cp)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a result store over HTTP (clients: --cache http://host:port)",
+    )
+    p.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store URI or directory to front "
+        "(default: $MAS_CACHE_URI, then $MAS_CACHE_DIR)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
 
     p = sub.add_parser("sweep", help="hardware sensitivity sweep (MAS vs FLAT)")
     p.add_argument(
@@ -402,6 +438,19 @@ def _run_cache_store_command(args: argparse.Namespace, store) -> int:
     )
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """The ``mas-attention serve`` command: front a local store over HTTP."""
+    from repro.service import serve_store
+
+    store = _open_cache_store(args.store or _env_cache_target())
+    if isinstance(store, HttpStore):
+        raise SystemExit(
+            f"refusing to front {store.uri()}: serve needs the *local* backend "
+            "(dir:/path or sqlite:///path.db), not another HTTP service"
+        )
+    return serve_store(store, host=args.host, port=args.port, verbose=args.verbose)
+
+
 def _emit(text: str, result: object, json_path: str | None) -> None:
     print(text)
     if json_path:
@@ -417,8 +466,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
+    # Register user suites before any command resolves a suite spec.  The
+    # explicit flag *replaces* its $MAS_SUITES_FILE default (which otherwise
+    # loads lazily inside the registry).
+    if getattr(args, "suites_file", None):
+        use_suites_file(args.suites_file)
+
     if args.command == "cache":
         return _run_cache_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "suites":
         if args.spec:
@@ -441,7 +499,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         [s.name, len(s), s.description]
                         for s in (get_suite(name) for name in list_suites())
                     ],
-                    title="Built-in workload suites (inline specs: name@batch=N, name@seq<=N)",
+                    title="Workload suites (inline specs: name@batch=N, name@seq<=N; "
+                    "--suites-file/$MAS_SUITES_FILE adds user suites)",
                 )
             )
         return 0

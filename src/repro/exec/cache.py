@@ -9,10 +9,11 @@ scheduler, workload shape, strategy, budget, metric and seed — so warm sweeps
 
 *Where* entries live is delegated to :mod:`repro.store`: the historical
 directory-of-JSON-files format (:class:`~repro.store.jsondir.JsonDirStore`,
-still the default for plain paths) or a shared single-file SQLite database
-(``sqlite:///path.db``), selected by URI — see :mod:`repro.store.uri`.  This
-module owns what is stored: the ``TuningResult <-> JSON`` codec and the cache
-key.
+still the default for plain paths), a shared single-file SQLite database
+(``sqlite:///path.db``) or a served fleet store over HTTP
+(``http://host:8787``, a running ``mas-attention serve``), selected by URI —
+see :mod:`repro.store.uri`.  This module owns what is stored: the
+``TuningResult <-> JSON`` codec and the cache key.
 
 Two schema versions exist, deliberately decoupled:
 

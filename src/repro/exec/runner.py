@@ -24,6 +24,7 @@ form.  On top of that this module adds:
 
 from __future__ import annotations
 
+import http.client
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -36,7 +37,7 @@ from repro.hardware.presets import simulated_edge_device
 from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
 from repro.search.parallel import resolve_backend, resolve_workers
-from repro.store import MAS_CACHE_URI_ENV, open_store
+from repro.store import HttpStore, MAS_CACHE_URI_ENV, TransientServiceError, open_store
 from repro.utils.validation import check_positive_int
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.suites import WorkloadSuite, get_suite
@@ -82,11 +83,15 @@ class ExperimentRunner:
         Directory of the persistent tuning-result cache (the JSON-file
         backend); ``None`` defers to ``cache_uri``.
     cache_uri:
-        Result-store URI — ``dir:/path``, ``sqlite:///path.db``, optionally
+        Result-store URI — ``dir:/path``, ``sqlite:///path.db`` or
+        ``http://host:8787`` (a running ``mas-attention serve``), optionally
         with ``?max_entries=``/``?max_bytes=`` eviction caps (see
         :mod:`repro.store.uri`).  Takes precedence over ``cache_dir``; when
         neither is given, ``$MAS_CACHE_URI`` supplies the default, and with
-        that unset too results stay in-memory only.
+        that unset too results stay in-memory only.  Every worker process
+        carries its own store counters back to the parent through
+        :attr:`MethodRun.store_stats`, HTTP-backed sweeps included, so
+        :meth:`cache_stats` accounting is backend-independent.
     use_cache:
         Off switch for the persistent cache even when a target is set.
     search_workers:
@@ -128,13 +133,39 @@ class ExperimentRunner:
         resolve_backend(self.search_backend)
         # ... and on a malformed store URI (explicit or $MAS_CACHE_URI):
         # opening a store is lazy/cheap and raises on bad schemes or policies.
+        # An HTTP store is additionally pinged, so an unreachable/mistyped
+        # service address fails the run here with one clear error instead of
+        # surfacing as a retry-exhausted failure inside every pool worker.
         # With the cache switched off no store will ever be opened, so a
         # broken URI must not block the run either (--no-cache is the escape
         # hatch from exactly that kind of misconfiguration).
         if self.use_cache:
             probe = open_store(self.cache_target)
             if probe is not None:
-                probe.close()
+                try:
+                    if isinstance(probe, HttpStore):
+                        try:
+                            probe.ping()
+                        # Everything a failed health probe can surface: the
+                        # transient classifier's re-raises after exhausted
+                        # retries (5xx, connection errors, a non-HTTP
+                        # endpoint's BadStatusLine) plus ValueError for an
+                        # HTTP server that is not a store service at all
+                        # (unexpected status, non-JSON body — JSONDecodeError
+                        # is a ValueError).
+                        except (
+                            TransientServiceError,
+                            http.client.HTTPException,
+                            OSError,
+                            ValueError,
+                        ) as exc:
+                            raise ValueError(
+                                f"result-store service unreachable at "
+                                f"{probe.uri()}: {exc} (is 'mas-attention "
+                                "serve' running? --no-cache bypasses it)"
+                            ) from exc
+                finally:
+                    probe.close()
         self._workload_suite = get_suite(self.suite if self.suite is not None else "table1")
 
     @property

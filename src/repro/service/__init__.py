@@ -1,0 +1,31 @@
+"""Result-store fleet service: any :class:`~repro.store.ResultStore` over HTTP.
+
+``mas-attention serve sqlite:///fleet.db --port 8787`` turns a local store
+into a network service that a whole fleet of sweep hosts can share through
+the matching :class:`~repro.store.http.HttpStore` client
+(``--cache http://host:8787``) — no shared filesystem required.  Pure
+standard library (:class:`http.server.ThreadingHTTPServer`), deliberately:
+the reproduction must run anywhere Python does.
+
+* :mod:`repro.service.server` — the :class:`StoreService` facade (one lock,
+  ETag versioning, metrics), the request handler and the ``serve_store``
+  entry point used by the CLI.
+"""
+
+from repro.service.server import (
+    ServiceMetrics,
+    StoreService,
+    make_server,
+    running_server,
+    serve_store,
+    server_url,
+)
+
+__all__ = [
+    "ServiceMetrics",
+    "StoreService",
+    "make_server",
+    "running_server",
+    "serve_store",
+    "server_url",
+]

@@ -1,0 +1,639 @@
+"""The HTTP result-store server: REST endpoints, ETags, metrics.
+
+Three layers, separable on purpose:
+
+* :class:`StoreService` — a thread-safe facade over one
+  :class:`~repro.store.base.ResultStore`.  Every operation holds a single
+  re-entrant lock (the backends' connections are not thread-safe and the
+  plan-then-delete eviction sequence must be atomic), maintains per-entry
+  **ETag versions** (bumped on every write *and* touch, so an entry a client
+  just refreshed wins conditional races against cross-host eviction) and
+  feeds :class:`ServiceMetrics`;
+* :class:`StoreRequestHandler` — the REST surface (see the table in
+  ``docs/store_service.md``): raw entry primitives for the store contract,
+  single-round-trip ``/lookup``/``/put`` for the sweep hot path, batch
+  get/put, ``/evict``, ``/stats``, ``/metrics`` and ``/healthz``;
+* :func:`make_server` / :func:`serve_store` — construction and the CLI's
+  blocking entry point.
+
+The server is the *only* writer of its backing store, which is what makes
+ETag versions authoritative without any backend cooperation.  Scaling rule
+of thumb: one service per store; many sweep hosts per service.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterator
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro import __version__
+from repro.store.base import ResultStore
+from repro.store.eviction import EvictionPolicy
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServiceMetrics",
+    "StoreService",
+    "StoreRequestHandler",
+    "make_server",
+    "running_server",
+    "serve_store",
+    "server_url",
+]
+
+#: Default TCP port of ``mas-attention serve``.
+DEFAULT_PORT = 8787
+
+#: Path prefix of the store API (mirrored by the client).
+API_PREFIX = "/api/v1"
+
+
+class _Conflict(Exception):
+    """Internal: a conditional request's If-Match did not match (HTTP 412)."""
+
+    def __init__(self, key: str, current: str | None) -> None:
+        super().__init__(f"entry {key!r} changed (current etag {current})")
+        self.current = current
+
+
+class ServiceMetrics:
+    """Store-level counters plus per-endpoint latency, served at ``/metrics``.
+
+    Everything is monotonic since server start and protected by its own lock
+    so the request threads of a :class:`~http.server.ThreadingHTTPServer`
+    can record concurrently.
+    """
+
+    #: Counter names, fixed so ``/metrics`` output is stable for dashboards.
+    COUNTERS = (
+        "hits",
+        "misses",
+        "stale",
+        "upgraded",
+        "puts",
+        "deletes",
+        "evictions",
+        "conflicts",
+        "bytes_stored",
+        "bytes_served",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in self.COUNTERS}
+        self._endpoints: dict[str, dict[str, float]] = {}
+        self._started = time.time()
+
+    def count(self, **increments: int) -> None:
+        with self._lock:
+            for name, amount in increments.items():
+                self._counters[name] += amount
+
+    def record_lookup(self, status: str) -> None:
+        """Tally one schema-aware lookup outcome (hit/upgraded/miss/stale)."""
+        key = {"hit": "hits", "upgraded": "upgraded", "stale": "stale"}.get(
+            status, "misses"
+        )
+        self.count(**{key: 1})
+
+    def observe(self, endpoint: str, elapsed_ms: float, error: bool = False) -> None:
+        """Record one served request against its endpoint label."""
+        with self._lock:
+            stats = self._endpoints.setdefault(
+                endpoint, {"count": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            stats["count"] += 1
+            stats["errors"] += bool(error)
+            stats["total_ms"] += elapsed_ms
+            stats["max_ms"] = max(stats["max_ms"], elapsed_ms)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/metrics`` document: counters + per-endpoint latency."""
+        with self._lock:
+            requests = {
+                endpoint: {
+                    "count": int(stats["count"]),
+                    "errors": int(stats["errors"]),
+                    "total_ms": round(stats["total_ms"], 3),
+                    "mean_ms": round(stats["total_ms"] / max(stats["count"], 1), 3),
+                    "max_ms": round(stats["max_ms"], 3),
+                }
+                for endpoint, stats in sorted(self._endpoints.items())
+            }
+            return {
+                **self._counters,
+                "uptime_s": round(time.time() - self._started, 3),
+                "requests": requests,
+            }
+
+
+class StoreService:
+    """Thread-safe, ETag-versioned facade over one result store."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+        self.metrics = ServiceMetrics()
+        self._lock = threading.RLock()
+        self._versions: dict[str, int] = {}
+        self._next_version = 0
+
+    # ------------------------------------------------------------------ #
+    # ETag bookkeeping (always called with the lock held)
+    # ------------------------------------------------------------------ #
+    def _bump(self, key: str) -> str:
+        self._next_version += 1
+        self._versions[key] = self._next_version
+        return self._etag(key)
+
+    def _etag(self, key: str) -> str | None:
+        """Current ETag of ``key``, or ``None`` when no such entry exists.
+
+        Entries that predate this server process get a version lazily on
+        first sight — ETags are authoritative only within one server
+        lifetime, which suffices because the server is the store's only
+        writer.
+        """
+        if key not in self._versions:
+            if not self.store.exists(key):
+                return None
+            self._bump(key)
+        return f'"{self._versions[key]}"'
+
+    def _check_match(self, key: str, if_match: str | None) -> None:
+        if if_match is None:
+            return
+        current = self._etag(key)
+        if if_match != current:
+            self.metrics.count(conflicts=1)
+            raise _Conflict(key, current)
+
+    # ------------------------------------------------------------------ #
+    # Raw primitives
+    # ------------------------------------------------------------------ #
+    def read(self, key: str) -> tuple[dict[str, Any] | None, str | None]:
+        with self._lock:
+            payload = self.store.read(key)
+            if payload is None:
+                return None, None
+            return payload, self._etag(key)
+
+    def write(
+        self, key: str, payload: dict[str, Any], if_match: str | None = None
+    ) -> str:
+        # Byte counters (bytes_served / bytes_stored) are accounted by the
+        # request handler from the actual wire sizes — recomputing them here
+        # would re-serialize every payload under the service lock.
+        with self._lock:
+            self._check_match(key, if_match)
+            self.store.write(key, payload)
+            self.metrics.count(puts=1)
+            return self._bump(key)
+
+    def delete(self, key: str, if_match: str | None = None) -> bool:
+        with self._lock:
+            self._check_match(key, if_match)
+            existed = self.store.delete(key)
+            self._versions.pop(key, None)
+            self.metrics.count(deletes=int(existed))
+            return existed
+
+    def touch(self, key: str) -> str | None:
+        with self._lock:
+            # Existence probe, not a payload read: touches are pure LRU
+            # bookkeeping and run under the single service lock.
+            if not self.store.exists(key):
+                return None
+            self.store.touch(key)
+            return self._bump(key)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return self.store.keys()
+
+    def entries(self, filters: dict[str, str]) -> list[dict[str, Any]]:
+        with self._lock:
+            return [asdict(info) for info in self.store.entries(**filters)]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return self.store.stats().as_dict()
+
+    # ------------------------------------------------------------------ #
+    # Schema-aware, single-round-trip operations
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: str) -> tuple[dict[str, Any] | None, str, str | None]:
+        with self._lock:
+            payload, status = self.store.lookup(key)
+            self.metrics.record_lookup(status)
+            etag = None
+            if status in ("hit", "upgraded"):
+                # The lookup refreshed LRU state (and possibly rewrote the
+                # payload): the entry's version moves, so a concurrently
+                # planned eviction holding the old ETag loses its race.
+                etag = self._bump(key)
+            return payload, status, etag
+
+    def put(
+        self, key: str, payload: dict[str, Any], policy: EvictionPolicy | None
+    ) -> tuple[str, list[str]]:
+        """Write + single eviction pass, atomically; returns (etag, evicted)."""
+        with self._lock:
+            etag = self.write(key, payload)
+            evicted = self._evict_locked(policy)
+            return etag, evicted
+
+    def read_many(self, keys: list[str]) -> dict[str, dict[str, Any] | None]:
+        with self._lock:
+            return self.store.read_many(keys)
+
+    def put_many(
+        self, entries: dict[str, dict[str, Any]], policy: EvictionPolicy | None
+    ) -> list[str]:
+        with self._lock:
+            for key, payload in entries.items():
+                self.write(key, payload)
+            return self._evict_locked(policy)
+
+    def evict(self, policy: EvictionPolicy | None) -> list[str]:
+        with self._lock:
+            return self._evict_locked(policy)
+
+    def _evict_locked(self, policy: EvictionPolicy | None) -> list[str]:
+        # A client-shipped policy composes with — never replaces — the caps
+        # the service was launched with: the request's policy is enforced
+        # first, then the store's own, so a client with looser caps cannot
+        # grow a capped store past its configured bound.
+        policies = [p for p in (policy, self.store.policy) if p is not None and p.bounded]
+        if len(policies) == 2 and policies[0] == policies[1]:
+            policies.pop()
+        evicted: list[str] = []
+        for effective in policies:
+            evicted.extend(self.store.evict(effective))
+        for key in evicted:
+            self._versions.pop(key, None)
+        self.metrics.count(evictions=len(evicted))
+        return evicted
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = self.store.clear()
+            self._versions.clear()
+            self.metrics.count(deletes=removed)
+            return removed
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes the REST surface onto a :class:`StoreService`.
+
+    HTTP/1.1 with explicit ``Content-Length`` on every response, so clients
+    keep one connection alive across a whole sweep.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"mas-attention-store/{__version__}"
+
+    # Populated by make_server on the server object; typed here for clarity.
+    @property
+    def service(self) -> StoreService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    #: Endpoints whose 200 responses carry entry payloads out / in — the
+    #: byte counters are accounted here, per response/request, so payloads
+    #: are never re-serialized just for metrics.
+    _SERVING_LABELS = frozenset({"GET /entry", "POST /lookup", "POST /batch/get"})
+    _STORING_LABELS = frozenset({"PUT /entry", "POST /put", "POST /batch/put"})
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        parts = urlsplit(self.path)
+        # Unmatched paths share one fixed label: per-path labels would let a
+        # port scanner (or a buggy client) grow the metrics table unboundedly.
+        label = f"{method} <unmatched>"
+        status = 500
+        try:
+            # Consume the request body exactly once, up front, whatever the
+            # route: on a keep-alive connection any unread body bytes would
+            # be parsed as the next request line, desyncing the stream for
+            # every later request (no per-endpoint handler can forget this).
+            length = int(self.headers.get("Content-Length") or 0)
+            self._body_bytes = self.rfile.read(length) if length > 0 else b""
+            route = self._route(method, parts.path)
+            if route is None:
+                status = 404
+                self._send_json(
+                    404, {"error": f"no such endpoint: {method} {parts.path}"}
+                )
+                return
+            handler, args, label = route
+            query = dict(parse_qsl(parts.query))
+            status, payload, headers = handler(*args, query)
+            sent = self._send_json(status, payload, headers)
+            if status == 200:
+                if label in self._SERVING_LABELS:
+                    self.service.metrics.count(bytes_served=sent)
+                elif label in self._STORING_LABELS:
+                    self.service.metrics.count(
+                        bytes_stored=int(self.headers.get("Content-Length") or 0)
+                    )
+        except _Conflict as conflict:
+            status = 412
+            self._send_json(
+                412, {"error": str(conflict), "etag": conflict.current}
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            status = 400
+            self._send_json(400, {"error": f"bad request: {exc}"})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            status = 499
+        except Exception as exc:  # noqa: BLE001 - the service must not die
+            status = 500
+            try:
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            except OSError:  # pragma: no cover - client went away mid-error
+                pass
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            self.service.metrics.observe(label, elapsed_ms, error=status >= 500)
+
+    def _route(self, method: str, path: str):
+        """Resolve ``(handler, args, metrics_label)`` for one request path."""
+        if method == "GET":
+            if path == "/healthz":
+                return self._handle_healthz, (), "GET /healthz"
+            if path == "/metrics":
+                return self._handle_metrics, (), "GET /metrics"
+            if path == f"{API_PREFIX}/stats":
+                return self._handle_stats, (), "GET /stats"
+            if path == f"{API_PREFIX}/keys":
+                return self._handle_keys, (), "GET /keys"
+            if path == f"{API_PREFIX}/entries":
+                return self._handle_entries, (), "GET /entries"
+        key = self._entry_key(path)
+        if key is not None:
+            if method == "GET":
+                return self._handle_entry_get, (key,), "GET /entry"
+            if method == "PUT":
+                return self._handle_entry_put, (key,), "PUT /entry"
+            if method == "DELETE":
+                return self._handle_entry_delete, (key,), "DELETE /entry"
+        touch_key = self._entry_key(path, suffix="/touch")
+        if method == "POST" and touch_key is not None:
+            return self._handle_touch, (touch_key,), "POST /touch"
+        if method == "POST":
+            posts = {
+                f"{API_PREFIX}/lookup": self._handle_lookup,
+                f"{API_PREFIX}/put": self._handle_put,
+                f"{API_PREFIX}/batch/get": self._handle_batch_get,
+                f"{API_PREFIX}/batch/put": self._handle_batch_put,
+                f"{API_PREFIX}/evict": self._handle_evict,
+                f"{API_PREFIX}/clear": self._handle_clear,
+            }
+            if path in posts:
+                return posts[path], (), f"POST {path.removeprefix(API_PREFIX)}"
+        return None
+
+    @staticmethod
+    def _entry_key(path: str, suffix: str = "") -> str | None:
+        prefix = f"{API_PREFIX}/entry/"
+        if not (path.startswith(prefix) and path.endswith(suffix)):
+            return None
+        quoted = path[len(prefix) : len(path) - len(suffix)]
+        if not quoted or "/" in quoted:
+            return None
+        return unquote(quoted)
+
+    # ------------------------------------------------------------------ #
+    # Endpoint handlers: (status, payload, headers)
+    # ------------------------------------------------------------------ #
+    def _handle_healthz(self, query: dict) -> tuple[int, dict, dict]:
+        store = self.service.store
+        return 200, {
+            "ok": True,
+            "version": __version__,
+            "backend": store.backend,
+            "store": store.uri(),
+        }, {}
+
+    def _handle_metrics(self, query: dict) -> tuple[int, dict, dict]:
+        return 200, self.service.metrics.snapshot(), {}
+
+    def _handle_stats(self, query: dict) -> tuple[int, dict, dict]:
+        return 200, self.service.stats(), {}
+
+    def _handle_keys(self, query: dict) -> tuple[int, dict, dict]:
+        return 200, {"keys": self.service.keys()}, {}
+
+    def _handle_entries(self, query: dict) -> tuple[int, dict, dict]:
+        return 200, {"entries": self.service.entries(query)}, {}
+
+    def _handle_entry_get(self, key: str, query: dict) -> tuple[int, dict, dict]:
+        payload, etag = self.service.read(key)
+        if payload is None:
+            return 404, {"error": f"no entry {key!r}"}, {}
+        return 200, payload, {"ETag": etag}
+
+    def _handle_entry_put(self, key: str, query: dict) -> tuple[int, dict, dict]:
+        payload = self._json_body()
+        if not isinstance(payload, dict):
+            raise ValueError("entry payload must be a JSON object")
+        etag = self.service.write(key, payload, self.headers.get("If-Match"))
+        return 200, {"stored": True, "etag": etag}, {"ETag": etag}
+
+    def _handle_entry_delete(self, key: str, query: dict) -> tuple[int, dict, dict]:
+        existed = self.service.delete(key, self.headers.get("If-Match"))
+        return 200, {"deleted": existed}, {}
+
+    def _handle_touch(self, key: str, query: dict) -> tuple[int, dict, dict]:
+        etag = self.service.touch(key)
+        if etag is None:
+            return 404, {"error": f"no entry {key!r}"}, {}
+        return 200, {"touched": True, "etag": etag}, {"ETag": etag}
+
+    def _handle_lookup(self, query: dict) -> tuple[int, dict, dict]:
+        body = self._json_body()
+        key = body.get("key")
+        if not isinstance(key, str):
+            raise ValueError("lookup body must carry a string 'key'")
+        payload, status, etag = self.service.lookup(key)
+        headers = {"ETag": etag} if etag else {}
+        return 200, {"status": status, "payload": payload, "etag": etag}, headers
+
+    def _handle_put(self, query: dict) -> tuple[int, dict, dict]:
+        body = self._json_body()
+        key, payload = body.get("key"), body.get("payload")
+        if not isinstance(key, str) or not isinstance(payload, dict):
+            raise ValueError("put body must carry a string 'key' and object 'payload'")
+        etag, evicted = self.service.put(key, payload, self._body_policy(body))
+        return 200, {"stored": True, "etag": etag, "evicted": evicted}, {"ETag": etag}
+
+    def _handle_batch_get(self, query: dict) -> tuple[int, dict, dict]:
+        keys = self._json_body().get("keys")
+        if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+            raise ValueError("batch/get body must carry a list of string 'keys'")
+        return 200, {"entries": self.service.read_many(keys)}, {}
+
+    def _handle_batch_put(self, query: dict) -> tuple[int, dict, dict]:
+        body = self._json_body()
+        entries = body.get("entries")
+        if not isinstance(entries, dict) or not all(
+            isinstance(p, dict) for p in entries.values()
+        ):
+            raise ValueError("batch/put body must map keys to object payloads")
+        evicted = self.service.put_many(entries, self._body_policy(body))
+        return 200, {"stored": len(entries), "evicted": evicted}, {}
+
+    def _handle_evict(self, query: dict) -> tuple[int, dict, dict]:
+        evicted = self.service.evict(self._body_policy(self._json_body()))
+        return 200, {"evicted": evicted}, {}
+
+    def _handle_clear(self, query: dict) -> tuple[int, dict, dict]:
+        return 200, {"removed": self.service.clear()}, {}
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _body_policy(body: dict) -> EvictionPolicy | None:
+        """Caps shipped in a request body, or ``None`` for the store policy."""
+        caps = {k: body[k] for k in ("max_entries", "max_bytes") if k in body}
+        if not caps:
+            return None
+        return EvictionPolicy(
+            max_entries=int(caps["max_entries"]) if "max_entries" in caps else None,
+            max_bytes=int(caps["max_bytes"]) if "max_bytes" in caps else None,
+        )
+
+    def _json_body(self) -> dict[str, Any]:
+        """The request body (pre-read by ``_dispatch``) as a JSON object."""
+        if not self._body_bytes:
+            return {}
+        try:
+            payload = json.loads(self._body_bytes)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> int:
+        """Send one JSON response; returns the body size in bytes."""
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            if value:
+                self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+        return len(data)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Quiet by default; ``make_server(verbose=True)`` restores the log."""
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+def make_server(
+    store: ResultStore,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run server fronting ``store`` (``port=0`` picks a free one).
+
+    The caller owns the lifecycle: run ``serve_forever()`` (typically in a
+    thread for tests), then ``shutdown()`` + ``server_close()``.  The
+    attached :class:`StoreService` is reachable as ``server.service``.
+    """
+    server = ThreadingHTTPServer((host, port), StoreRequestHandler)
+    server.service = StoreService(store)  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def server_url(server: ThreadingHTTPServer) -> str:
+    """The ``http://host:port`` base URL a client reaches ``server`` at.
+
+    A wildcard bind (``0.0.0.0`` / ``::``) is unreachable as written — the
+    whole point of binding it is remote sweep hosts — so it is substituted
+    with this machine's hostname before being shown to anyone.
+    """
+    host, port = server.server_address[:2]
+    if host in ("0.0.0.0", "::", ""):
+        host = socket.gethostname()
+    if ":" in host:  # bare IPv6 literal: bracket it for URL use
+        host = f"[{host}]"
+    return f"http://{host}:{port}"
+
+
+@contextmanager
+def running_server(
+    store: ResultStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> Iterator[ThreadingHTTPServer]:
+    """A served store on a daemon thread, torn down (store included) on exit.
+
+    The lifecycle tests and benchmarks need — bind an ephemeral port, serve
+    in the background, then ``shutdown``/``server_close``/``store.close`` —
+    in one place instead of copy-pasted around every fixture.
+    """
+    server = make_server(store, host=host, port=port, verbose=verbose)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+        thread.join(timeout=5)
+
+
+def serve_store(
+    store: ResultStore,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point of ``mas-attention serve``; returns an exit code."""
+    server = make_server(store, host=host, port=port, verbose=verbose)
+    url = server_url(server)
+    print(
+        f"serving {store.uri()} on {url} "
+        f"(clients: --cache {url}; Ctrl-C stops)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        store.close()
+    return 0

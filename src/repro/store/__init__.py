@@ -15,17 +15,25 @@ side into a swappable backend behind one interface:
   by all backends;
 * :mod:`repro.store.schema` — entry payload versioning plus the lossless
   v2 -> v3 upgrader;
+* :mod:`repro.store.http` — the HTTP client backend: the same contract over
+  a running ``mas-attention serve`` (:mod:`repro.service`), with connection
+  reuse, retry-with-backoff and ETag-based optimistic concurrency;
+* :mod:`repro.store.retry` — the shared retry/backoff helper (SQLite busy
+  handling and HTTP transient errors go through one code path);
 * :mod:`repro.store.migrate` — copying whole stores across backends
-  (``jsondir <-> sqlite``) with zero entry loss;
-* :mod:`repro.store.uri` — ``dir:/path`` / ``sqlite:///path.db`` URIs (plus
-  ``?max_entries=``/``?max_bytes=`` policy parameters) so one string —
-  ``--cache``, ``$MAS_CACHE_URI`` — selects backend, location and policy.
+  (``jsondir <-> sqlite <-> http``) with zero entry loss;
+* :mod:`repro.store.uri` — ``dir:/path`` / ``sqlite:///path.db`` /
+  ``http://host:8787`` URIs (plus ``?max_entries=``/``?max_bytes=`` policy
+  parameters) so one string — ``--cache``, ``$MAS_CACHE_URI`` — selects
+  backend, location and policy.
 """
 
 from repro.store.base import EntryInfo, ResultStore, StoreStats
 from repro.store.eviction import EvictionPolicy, parse_size, plan_eviction
+from repro.store.http import HttpStore, StoreConflictError, TransientServiceError
 from repro.store.jsondir import JsonDirStore
 from repro.store.migrate import MigrationReport, migrate_store
+from repro.store.retry import RetryPolicy, call_with_retry
 from repro.store.schema import (
     ENTRY_SCHEMA_VERSION,
     make_payload,
@@ -38,12 +46,17 @@ __all__ = [
     "ENTRY_SCHEMA_VERSION",
     "EntryInfo",
     "EvictionPolicy",
+    "HttpStore",
     "JsonDirStore",
     "MAS_CACHE_URI_ENV",
     "MigrationReport",
     "ResultStore",
+    "RetryPolicy",
     "SqliteStore",
+    "StoreConflictError",
     "StoreStats",
+    "TransientServiceError",
+    "call_with_retry",
     "make_payload",
     "migrate_store",
     "normalize_payload",

@@ -204,6 +204,39 @@ class ResultStore(abc.ABC):
             self.evict(self.policy)
         return token
 
+    def exists(self, key: str) -> bool:
+        """Whether a *usable-or-stale* entry is stored under ``key``.
+
+        The default reads the payload; backends with indexed keys (SQLite)
+        override it with an existence probe so callers that only need
+        presence — LRU touches, ETag bookkeeping — skip the payload I/O.
+        """
+        return self.read(key) is not None
+
+    def read_many(self, keys: list[str]) -> dict[str, dict[str, Any] | None]:
+        """Raw payloads of ``keys`` (``None`` per missing entry).
+
+        The default loops over :meth:`read`; backends where a round trip is
+        expensive (the HTTP store) override this with one batched request —
+        :func:`repro.store.migrate.migrate_store` reads through it.
+        """
+        return {key: self.read(key) for key in keys}
+
+    def put_many(self, entries: dict[str, dict[str, Any]]) -> list[str]:
+        """Store several payloads, then enforce the eviction policy once.
+
+        Semantically a sequence of :meth:`put` calls, except that a bounded
+        policy is enforced after the whole batch instead of after every
+        entry — the final state satisfies the caps either way, and batch
+        writers (migration, the HTTP store's batch endpoint) skip the
+        per-entry eviction scans.  Returns the evicted keys.
+        """
+        for key, payload in entries.items():
+            self.write(key, payload)
+        if self.policy.bounded:
+            return self.evict(self.policy)
+        return []
+
     def evict(self, policy: EvictionPolicy | None = None) -> list[str]:
         """Delete least-recently-used entries until ``policy`` holds.
 
@@ -239,7 +272,7 @@ class ResultStore(abc.ABC):
         return len(self.keys())
 
     def __contains__(self, key: str) -> bool:
-        return self.read(key) is not None
+        return self.exists(key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}({self.uri()!r}, policy={self.policy})"

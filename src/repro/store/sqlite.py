@@ -21,16 +21,32 @@ the store URI inside the worker, never pickled).
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import time
+import weakref
 from pathlib import Path
 from typing import Any
 
 from repro.store.base import EntryInfo, ResultStore
 from repro.store.eviction import EvictionPolicy
+from repro.store.retry import RetryPolicy, call_with_retry
 from repro.store.schema import entry_meta, normalize_payload
 
-__all__ = ["SqliteStore"]
+__all__ = ["SqliteStore", "is_sqlite_busy"]
+
+
+def is_sqlite_busy(exc: BaseException) -> bool:
+    """Whether an exception is SQLite lock contention (transient, retryable).
+
+    ``SQLITE_BUSY``/``SQLITE_LOCKED`` surface as ``OperationalError`` with
+    these messages; anything else (read-only database, malformed file, bad
+    SQL) is permanent and must escape immediately.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return "database is locked" in message or "database is busy" in message
 
 #: Layout version of the database itself (tables/columns, not entry payloads).
 DB_FORMAT_VERSION = 1
@@ -60,15 +76,54 @@ CREATE INDEX IF NOT EXISTS idx_entries_last_used ON entries (last_used);
 """
 
 
+#: Every live store with a (possibly) open connection, so the at-fork hook
+#: below can find them.  Weak references: registration must not keep stores
+#: alive.
+_LIVE_STORES: "weakref.WeakSet[SqliteStore]" = weakref.WeakSet()
+
+
+def _discard_inherited_connections() -> None:  # pragma: no cover - fork hook
+    """After ``fork()``, forget (do not use) connections the child inherited.
+
+    A SQLite connection must never be *used* across ``fork()``.  Clearing
+    ``_conn`` in the child means any later use of an inherited store opens a
+    fresh connection, instead of sharing the parent's handle — the hazard
+    the PR-1 cache's close-before-fork discipline exists for, now enforced
+    structurally.  (The inherited handle is left for the child's GC: with
+    per-offset I/O and per-process POSIX locks, a plain close from another
+    process is an ordinary multi-process event for SQLite.)
+    """
+    for store in list(_LIVE_STORES):
+        store._conn = None
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; harmless to skip elsewhere
+    os.register_at_fork(after_in_child=_discard_inherited_connections)
+
+
 class SqliteStore(ResultStore):
     """Result store over a single SQLite database file (WAL mode)."""
 
     backend = "sqlite"
 
-    def __init__(self, path: str | Path, policy: EvictionPolicy | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        policy: EvictionPolicy | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         super().__init__(policy)
         self.path = Path(path).expanduser()
+        #: Backoff schedule for writes that still hit SQLITE_BUSY after the
+        #: connection's busy timeout — e.g. a writer starved by a long
+        #: transaction.  Shares :func:`repro.store.retry.call_with_retry`
+        #: with the HTTP backend's transient-error handling.
+        self.retry = retry or RetryPolicy()
         self._conn: sqlite3.Connection | None = None
+
+    def _retrying(self, fn):
+        """Run one statement batch, retrying on lock contention only."""
+        return call_with_retry(fn, policy=self.retry, should_retry=is_sqlite_busy)
 
     def uri(self) -> str:
         path = str(self.path)
@@ -103,6 +158,7 @@ class SqliteStore(ResultStore):
                 # them, exactly like a read-only JSON directory.
                 pass
             self._conn = conn
+            _LIVE_STORES.add(self)
         return self._conn
 
     def close(self) -> None:
@@ -112,7 +168,7 @@ class SqliteStore(ResultStore):
 
     def __getstate__(self) -> dict[str, Any]:
         # Workers rebuild the connection from the path; never pickle handles.
-        return {"path": self.path, "policy": self.policy, "_conn": None}
+        return {"path": self.path, "policy": self.policy, "retry": self.retry, "_conn": None}
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
@@ -144,43 +200,49 @@ class SqliteStore(ResultStore):
         usable = status in ("ok", "upgraded")
         meta = entry_meta(normalized if usable else {})
         now = time.time()
-        with self._connect() as conn:
-            conn.execute(
-                """
-                INSERT INTO entries
-                    (key, schema, scheduler, workload, strategy, suite,
-                     payload, size_bytes, created_at, last_used)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                ON CONFLICT (key) DO UPDATE SET
-                    schema = excluded.schema,
-                    scheduler = excluded.scheduler,
-                    workload = excluded.workload,
-                    strategy = excluded.strategy,
-                    suite = excluded.suite,
-                    payload = excluded.payload,
-                    size_bytes = excluded.size_bytes,
-                    last_used = excluded.last_used
-                """,
-                (
-                    key,
-                    # NULL for stale payloads, so stats/ls agree with lookup
-                    payload.get("schema") if usable else None,
-                    meta["scheduler"],
-                    meta["workload"],
-                    meta["strategy"],
-                    meta["suite"],
-                    text,
-                    len(text.encode()),
-                    now,
-                    now,
-                ),
-            )
+
+        def insert() -> None:
+            with self._connect() as conn:
+                conn.execute(
+                    """
+                    INSERT INTO entries
+                        (key, schema, scheduler, workload, strategy, suite,
+                         payload, size_bytes, created_at, last_used)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    ON CONFLICT (key) DO UPDATE SET
+                        schema = excluded.schema,
+                        scheduler = excluded.scheduler,
+                        workload = excluded.workload,
+                        strategy = excluded.strategy,
+                        suite = excluded.suite,
+                        payload = excluded.payload,
+                        size_bytes = excluded.size_bytes,
+                        last_used = excluded.last_used
+                    """,
+                    (
+                        key,
+                        # NULL for stale payloads, so stats/ls agree with lookup
+                        payload.get("schema") if usable else None,
+                        meta["scheduler"],
+                        meta["workload"],
+                        meta["strategy"],
+                        meta["suite"],
+                        text,
+                        len(text.encode()),
+                        now,
+                        now,
+                    ),
+                )
+
+        self._retrying(insert)
         return self.path
 
     def delete(self, key: str) -> bool:
-        with self._connect() as conn:
-            cursor = conn.execute("DELETE FROM entries WHERE key = ?", (key,))
-        return cursor.rowcount > 0
+        def run() -> sqlite3.Cursor:
+            with self._connect() as conn:
+                return conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+
+        return self._retrying(run).rowcount > 0
 
     def keys(self) -> list[str]:
         try:
@@ -188,24 +250,40 @@ class SqliteStore(ResultStore):
         except sqlite3.DatabaseError:  # schema-less or not-a-database file
             return []
 
-    def touch(self, key: str) -> None:
+    def exists(self, key: str) -> bool:
+        # Indexed existence probe: no payload fetch, no JSON parse.
         try:
+            row = self._connect().execute(
+                "SELECT 1 FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:  # schema-less or not-a-database file
+            return False
+        return row is not None
+
+    def touch(self, key: str) -> None:
+        def run() -> None:
             with self._connect() as conn:
                 conn.execute(
                     "UPDATE entries SET last_used = ? WHERE key = ?", (time.time(), key)
                 )
+
+        try:
+            self._retrying(run)
         except sqlite3.DatabaseError:
-            # Read-only or unusable database file: LRU freshness is
-            # best-effort, the lookup that triggered the touch must not fail.
+            # Read-only or unusable database file (or contention that outlived
+            # the retry schedule): LRU freshness is best-effort, the lookup
+            # that triggered the touch must not fail.
             pass
 
     def clear(self) -> int:
         # One statement instead of the base class's per-key DELETEs (each an
         # auto-committed write): clearing a fleet-sized store stays O(1) round
         # trips.
-        with self._connect() as conn:
-            cursor = conn.execute("DELETE FROM entries")
-        return cursor.rowcount
+        def run() -> sqlite3.Cursor:
+            with self._connect() as conn:
+                return conn.execute("DELETE FROM entries")
+
+        return self._retrying(run).rowcount
 
     def entries(self, **filters: str | None) -> list[EntryInfo]:
         """Entry metadata; filters become indexed equality constraints."""

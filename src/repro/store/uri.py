@@ -11,6 +11,9 @@ URI                                    Meaning
 ``jsondir:/path``                      alias of ``dir:``
 ``sqlite:///path/to/cache.db``         SQLite store (single file, WAL)
 ``sqlite:cache.db``                    SQLite store, relative path
+``http://host:8787``                   HTTP store service (a running
+                                       ``mas-attention serve``); ``https://``
+                                       works behind a TLS proxy
 =====================================  ====================================
 
 Query parameters configure the LRU eviction policy and apply to any backend::
@@ -26,6 +29,7 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.store.base import ResultStore
 from repro.store.eviction import EvictionPolicy
+from repro.store.http import HttpStore
 from repro.store.jsondir import JsonDirStore
 from repro.store.sqlite import SqliteStore
 
@@ -39,6 +43,9 @@ _BACKENDS = {
     "jsondir": JsonDirStore,
     "sqlite": SqliteStore,
 }
+
+#: Schemes served by the HTTP store client rather than a local path backend.
+_HTTP_SCHEMES = ("http", "https")
 
 
 def _split(uri: str) -> tuple[str, str, dict[str, str]]:
@@ -87,6 +94,15 @@ def open_store(target: str | Path | None) -> ResultStore | None:
     uri = target.strip()
     if not uri:
         return None
+    parts = urlsplit(uri)
+    if parts.scheme.lower() in _HTTP_SCHEMES:
+        # A network store: host+port (and optional path prefix) identify a
+        # running ``mas-attention serve``; query params still set the policy.
+        if not parts.netloc:
+            raise ValueError(f"store URI {uri!r} is missing a host")
+        policy = EvictionPolicy.from_query(dict(parse_qsl(parts.query)))
+        base = f"{parts.scheme.lower()}://{parts.netloc}{parts.path.rstrip('/')}"
+        return HttpStore(base, policy=policy)
     scheme, path, params = _split(uri)
     policy = EvictionPolicy.from_query(params)
     return _BACKENDS[scheme](Path(path).expanduser(), policy=policy)

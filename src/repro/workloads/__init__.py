@@ -19,13 +19,19 @@ from repro.workloads.stable_diffusion import (
     sd15_reduced_unet,
 )
 from repro.workloads.suites import (
+    GQA_CONFIGS,
     LONG_CONTEXT_SEQS,
+    MAS_SUITES_FILE_ENV,
     TABLE1_BATCH_SIZES,
     SuiteEntry,
     WorkloadSuite,
+    clear_user_suites,
     get_suite,
     list_suites,
+    load_suites_file,
     parse_suite_spec,
+    register_suite,
+    use_suites_file,
 )
 
 __all__ = [
@@ -45,7 +51,13 @@ __all__ = [
     "WorkloadSuite",
     "TABLE1_BATCH_SIZES",
     "LONG_CONTEXT_SEQS",
+    "GQA_CONFIGS",
+    "MAS_SUITES_FILE_ENV",
+    "clear_user_suites",
     "get_suite",
     "list_suites",
+    "load_suites_file",
     "parse_suite_spec",
+    "register_suite",
+    "use_suites_file",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, require
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,47 @@ class AttentionWorkload:
             batch=batch,
             heads=heads,
             seq_q=seq,
+            seq_kv=seq,
+            emb=emb,
+            dtype_bytes=dtype_bytes,
+            name=name,
+        )
+
+    @classmethod
+    def gqa(
+        cls,
+        q_heads: int,
+        kv_heads: int,
+        seq: int,
+        emb: int,
+        batch: int = 1,
+        dtype_bytes: int = 2,
+        name: str = "",
+    ) -> "AttentionWorkload":
+        """Grouped-query (GQA/MQA) attention, folded into an exact dense shape.
+
+        ``q_heads`` query heads share ``kv_heads`` K/V heads (``kv_heads=1``
+        is multi-query attention).  The returned workload has ``kv_heads``
+        head blocks whose query axis stacks each group's ``q_heads/kv_heads``
+        query heads: because softmax and both matmuls operate row-wise over
+        queries, this folding is arithmetically *exact* — identical MACs,
+        softmax elements and output bytes — while K/V tensors carry only the
+        shared ``kv_heads`` copies, which is precisely the memory-traffic
+        advantage GQA exists for.  ``max_seq`` (and so suite ``@seq<=``
+        filters) consequently sees the folded query length
+        ``(q_heads/kv_heads) * seq``.
+        """
+        check_positive_int(q_heads, "q_heads")
+        check_positive_int(kv_heads, "kv_heads")
+        require(
+            q_heads % kv_heads == 0,
+            f"q_heads ({q_heads}) must be a multiple of kv_heads ({kv_heads})",
+        )
+        group = q_heads // kv_heads
+        return cls(
+            batch=batch,
+            heads=kv_heads,
+            seq_q=group * seq,
             seq_kv=seq,
             emb=emb,
             dtype_bytes=dtype_bytes,

@@ -1,0 +1,627 @@
+"""Tests for the result-store fleet service (:mod:`repro.service`) and its
+client-side companions: the HTTP endpoints, ETag-based optimistic
+concurrency under concurrent clients, service metrics, the shared
+retry-with-backoff helper, and the ``serve`` CLI wiring.
+
+The backend *contract* of :class:`~repro.store.http.HttpStore` is covered by
+the parametrized matrix in ``tests/test_store.py``; this file covers what is
+specific to the service itself.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sqlite3
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.cli import build_parser
+from repro.service import running_server, server_url
+from repro.service.server import DEFAULT_PORT
+from repro.store import (
+    EvictionPolicy,
+    HttpStore,
+    JsonDirStore,
+    RetryPolicy,
+    SqliteStore,
+    StoreConflictError,
+    TransientServiceError,
+    call_with_retry,
+    make_payload,
+)
+from repro.store.sqlite import is_sqlite_busy
+
+
+def payload_for(key: str, value: int = 0) -> dict:
+    return make_payload(
+        key,
+        {
+            "scheduler": "mas",
+            "workload": f"wl-{value}",
+            "strategy": "mcts+ga",
+            "budget": value,
+        },
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live service over a fresh SQLite store; yields the server object."""
+    with running_server(SqliteStore(tmp_path / "served.db")) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    store = HttpStore(server_url(server))
+    yield store
+    store.close()
+
+
+# Backwards-friendly local alias (the shared helper does the work).
+url_of = server_url
+
+
+@contextmanager
+def flaky_server(handler_cls):
+    """A bare ThreadingHTTPServer around a custom (failure-injecting) handler."""
+    srv = ThreadingHTTPServer(("127.0.0.1", 0), handler_cls)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{srv.server_address[1]}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def raw_request(server, method: str, path: str, body: dict | None = None,
+                headers: dict | None = None):
+    """One plain-HTTP request (no HttpStore conveniences, no retries)."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        data = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=data, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        payload = json.loads(raw) if raw else None
+        return response.status, payload, response.getheader("ETag")
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# Endpoints
+# ---------------------------------------------------------------------- #
+class TestEndpoints:
+    def test_healthz_reports_backend_and_store(self, server):
+        status, payload, _ = raw_request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["backend"] == "sqlite"
+        assert payload["store"].startswith("sqlite:")
+
+    def test_unknown_endpoint_is_404_with_json_error(self, server):
+        status, payload, _ = raw_request(server, "GET", "/api/v1/nonsense")
+        assert status == 404 and "error" in payload
+
+    def test_unmatched_paths_share_one_metrics_label(self, server, client):
+        """Junk traffic must not grow the per-endpoint table unboundedly."""
+        for i in range(5):
+            raw_request(server, "GET", f"/scanner/probe-{i}")
+        requests = client.metrics()["requests"]
+        assert requests["GET <unmatched>"]["count"] == 5
+        assert not any("scanner" in label for label in requests)
+
+    def test_bad_json_body_is_400(self, server):
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/api/v1/lookup", body=b"definitely-not-json",
+                headers={"Content-Length": "19"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "error" in json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_unknown_entry_filter_is_400(self, server, client):
+        client.put("a", payload_for("a"))
+        status, payload, _ = raw_request(
+            server, "GET", "/api/v1/entries?flavour=vanilla"
+        )
+        assert status == 400 and "flavour" in payload["error"]
+
+    def test_lookup_endpoint_is_one_round_trip_with_status(self, server, client):
+        client.write("old", {"schema": 2, "key": "old", "tuning": {"budget": 1}})
+        status, payload, etag = raw_request(
+            server, "POST", "/api/v1/lookup", body={"key": "old"}
+        )
+        assert status == 200
+        assert payload["status"] == "upgraded"  # normalized server-side...
+        assert payload["payload"]["schema"] >= 3
+        assert etag  # ... and version-bumped in the same trip
+        # the write-back persisted: second lookup is a plain hit
+        _, second, _ = raw_request(server, "POST", "/api/v1/lookup", body={"key": "old"})
+        assert second["status"] == "hit"
+
+    def test_batch_get_and_put(self, server, client):
+        entries = {f"k{i}": payload_for(f"k{i}", i) for i in range(4)}
+        status, payload, _ = raw_request(
+            server, "POST", "/api/v1/batch/put", body={"entries": entries}
+        )
+        assert status == 200 and payload["stored"] == 4
+        status, payload, _ = raw_request(
+            server, "POST", "/api/v1/batch/get", body={"keys": ["k1", "k3", "nope"]}
+        )
+        assert status == 200
+        assert payload["entries"]["k1"]["meta"]["budget"] == 1
+        assert payload["entries"]["nope"] is None
+        # the client-side batch API mirrors it
+        found = client.read_many(["k0", "k2", "missing"])
+        assert found["k0"]["meta"]["budget"] == 0
+        assert found["missing"] is None
+
+    def test_evict_without_policy_uses_the_services_caps(self, tmp_path):
+        """HttpStore.evict(None) with an unbounded client policy delegates to
+        the store policy the service was launched with."""
+        backend = SqliteStore(
+            tmp_path / "capped.db", policy=EvictionPolicy(max_entries=2)
+        )
+        with running_server(backend) as srv:
+            store = HttpStore(server_url(srv))
+            for i in range(4):  # raw writes bypass put()'s enforcement
+                store.write(f"k{i}", payload_for(f"k{i}", i))
+                store.touch(f"k{i}")
+            evicted = store.evict()  # no caps anywhere client-side
+            assert evicted == ["k0", "k1"]
+            assert store.evict(EvictionPolicy()) == []  # explicit unbounded: no-op
+            store.close()
+
+    def test_keep_alive_survives_every_post_on_one_connection(self, server, client):
+        """Every endpoint consumes its request body — including /clear, which
+        takes none as input — so one keep-alive connection serves a whole
+        session (regression: '{}' left in the stream desynced the next
+        request into a 501)."""
+        client.put("a", payload_for("a"))
+        assert client.clear() == 1
+        # same HttpStore connection, conditional write right after clear():
+        # conditional requests never retry, so a desynced stream would fail
+        etag = client.write("b", payload_for("b"))
+        assert client.write("b", payload_for("b", 2), if_match=etag)
+        assert client.get("b")["meta"]["budget"] == 2
+
+    def test_wildcard_bind_prints_a_reachable_url(self, tmp_path):
+        import socket
+
+        from repro.service import make_server, server_url
+
+        srv = make_server(SqliteStore(tmp_path / "w.db"), host="0.0.0.0", port=0)
+        try:
+            url = server_url(srv)
+            assert "0.0.0.0" not in url
+            assert socket.gethostname() in url
+        finally:
+            srv.server_close()
+
+    def test_keep_alive_survives_a_404_with_body(self, server):
+        """An unmatched POST's body is drained, so the same keep-alive
+        connection serves the next request instead of desyncing."""
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/api/v1/renamed-endpoint",
+                body=json.dumps({"key": "x" * 256}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 404
+            first.read()
+            conn.request("GET", "/healthz")  # same socket, next request
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["ok"] is True
+        finally:
+            conn.close()
+
+    def test_proxy_path_prefix_is_sent_on_every_request(self):
+        """An http://host/prefix URI prepends the prefix to request paths."""
+        seen: list[str] = []
+
+        class Recorder(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self):
+                seen.append(self.path)
+                data = json.dumps({"ok": True, "backend": "x", "store": "x"}).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args):
+                pass
+
+        with flaky_server(Recorder) as url:
+            store = HttpStore(f"{url}/mas")
+            assert store.ping()["ok"] is True
+            store.read("some-key")
+            store.close()
+        assert seen[0] == "/mas/healthz"
+        assert seen[1] == "/mas/api/v1/entry/some-key"
+
+    def test_client_caps_cannot_loosen_the_services_policy(self, tmp_path):
+        """A client shipping looser caps must not grow a capped store past
+        the policy the service was launched with."""
+        backend = SqliteStore(
+            tmp_path / "capped.db", policy=EvictionPolicy(max_entries=2)
+        )
+        with running_server(backend) as srv:
+            loose = HttpStore(
+                server_url(srv), policy=EvictionPolicy(max_entries=1000)
+            )
+            for i in range(5):  # put() ships the loose caps with every write
+                loose.put(f"k{i}", payload_for(f"k{i}", i))
+                loose.touch(f"k{i}")
+            assert sorted(loose.keys()) == ["k3", "k4"]  # server cap held
+            # a *tighter* client policy still tightens further
+            loose.put("fresh", payload_for("fresh"))
+            tight = HttpStore(server_url(srv), policy=EvictionPolicy(max_entries=1))
+            tight.put("last", payload_for("last"))
+            assert tight.keys() == ["last"]
+            loose.close()
+            tight.close()
+
+    def test_server_side_eviction_under_put(self, server, client):
+        """A put shipping caps evicts LRU entries atomically, server-side."""
+        for i in range(5):
+            client.put(f"k{i}", payload_for(f"k{i}", i))
+            client.touch(f"k{i}")
+        status, payload, _ = raw_request(
+            server,
+            "POST",
+            "/api/v1/put",
+            body={"key": "fresh", "payload": payload_for("fresh"), "max_entries": 3},
+        )
+        assert status == 200
+        assert len(payload["evicted"]) == 3  # 6 entries down to 3, LRU first
+        assert set(payload["evicted"]) == {"k0", "k1", "k2"}
+        assert sorted(client.keys()) == ["fresh", "k3", "k4"]
+
+
+# ---------------------------------------------------------------------- #
+# ETags and optimistic concurrency
+# ---------------------------------------------------------------------- #
+class TestEtagConcurrency:
+    def test_conditional_delete_loses_to_a_touch(self, server, client):
+        """Cross-host eviction must not delete an entry a client refreshed."""
+        client.put("hot", payload_for("hot"))
+        evictor = HttpStore(url_of(server))  # a second, independent client
+        _, planned_etag = evictor.read_with_etag("hot")
+        assert planned_etag is not None
+
+        client.touch("hot")  # another host refreshes the entry meanwhile
+
+        with pytest.raises(StoreConflictError):
+            evictor.delete("hot", if_match=planned_etag)
+        assert "hot" in client.keys()  # the entry survived its stale eviction
+        # with the *current* etag the delete goes through
+        _, fresh = evictor.read_with_etag("hot")
+        assert evictor.delete("hot", if_match=fresh)
+        evictor.close()
+
+    def test_conditional_write_conflicts(self, server, client):
+        etag = client.write("k", payload_for("k", 1))
+        client.write("k", payload_for("k", 2))  # unconditional overwrite
+        with pytest.raises(StoreConflictError):
+            client.write("k", payload_for("k", 3), if_match=etag)
+        assert client.get("k")["meta"]["budget"] == 2
+
+    def test_lookup_hit_moves_the_etag(self, server, client):
+        """A served hit refreshes LRU state, so its version must move too."""
+        client.put("k", payload_for("k"))
+        _, before = client.read_with_etag("k")
+        assert client.lookup("k")[1] == "hit"
+        _, after = client.read_with_etag("k")
+        assert before != after
+
+    def test_concurrent_clients_never_lose_fresh_entries(self, server):
+        """Four clients hammer puts under a shared cap: the cap holds and
+        every client's most recent entry survives the crossfire."""
+        cap = 8
+        rounds = 6
+
+        def hammer(worker: int) -> str:
+            store = HttpStore(
+                url_of(server), policy=EvictionPolicy(max_entries=cap)
+            )
+            last = ""
+            for i in range(rounds):
+                last = f"w{worker}-r{i}"
+                store.put(last, payload_for(last, i))
+            store.close()
+            return last
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            finals = list(pool.map(hammer, range(4)))
+
+        survivor_check = HttpStore(url_of(server))
+        keys = set(survivor_check.keys())
+        assert len(keys) == cap  # the cap held exactly under concurrency
+        for final in finals:  # the 4 freshest entries all survived
+            assert final in keys
+            payload, status = survivor_check.lookup(final)
+            assert status == "hit" and payload is not None
+        survivor_check.close()
+
+
+# ---------------------------------------------------------------------- #
+# Metrics
+# ---------------------------------------------------------------------- #
+class TestMetrics:
+    def test_metrics_track_hits_misses_evictions_and_latency(self, server, client):
+        client.lookup("missing")
+        client.put("a", payload_for("a"))
+        client.lookup("a")
+        client.write("stale", {"schema": 99, "key": "stale", "tuning": {}})
+        client.lookup("stale")
+        client.evict(EvictionPolicy(max_entries=1))
+
+        metrics = client.metrics()
+        assert metrics["hits"] == 1
+        assert metrics["misses"] == 1
+        assert metrics["stale"] == 1
+        assert metrics["puts"] >= 2
+        assert metrics["evictions"] == 1
+        assert metrics["bytes_stored"] > 0 and metrics["bytes_served"] > 0
+
+        lookups = metrics["requests"]["POST /lookup"]
+        assert lookups["count"] == 3
+        assert lookups["errors"] == 0
+        assert lookups["max_ms"] >= lookups["mean_ms"] > 0
+        assert metrics["uptime_s"] >= 0
+
+    def test_conflicts_are_counted(self, server, client):
+        etag = client.write("k", payload_for("k"))
+        client.touch("k")
+        with pytest.raises(StoreConflictError):
+            client.delete("k", if_match=etag)
+        assert client.metrics()["conflicts"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# The shared retry helper
+# ---------------------------------------------------------------------- #
+class TestRetryHelper:
+    def test_returns_first_success_without_sleeping(self):
+        sleeps: list[float] = []
+        assert call_with_retry(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_backoff_schedule_and_eventual_success(self):
+        sleeps: list[float] = []
+        attempts = iter([True, True, False])  # fail, fail, succeed
+
+        def flaky():
+            if next(attempts):
+                raise TimeoutError("transient")
+            return "done"
+
+        policy = RetryPolicy(attempts=5, base_delay=0.1, backoff=2.0, max_delay=10.0)
+        assert call_with_retry(flaky, policy=policy, sleep=sleeps.append) == "done"
+        assert sleeps == [0.1, 0.2]  # exponential, one sleep per failure
+
+    def test_gives_up_after_attempts_and_reraises_last(self):
+        sleeps: list[float] = []
+
+        def always_fails():
+            raise TimeoutError("still down")
+
+        with pytest.raises(TimeoutError, match="still down"):
+            call_with_retry(
+                always_fails, policy=RetryPolicy(attempts=3, base_delay=0.01),
+                sleep=sleeps.append,
+            )
+        assert len(sleeps) == 2  # attempts-1 sleeps
+
+    def test_non_transient_errors_escape_immediately(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                fails,
+                should_retry=lambda exc: isinstance(exc, TimeoutError),
+                sleep=lambda s: None,
+            )
+        assert len(calls) == 1
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(attempts=10, base_delay=1.0, backoff=10.0, max_delay=3.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 3.0  # 10.0 capped
+        assert policy.delay(5) == 3.0
+
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+
+class _FlakyConnection:
+    """Wraps a sqlite connection; the first ``failures`` statements raise BUSY."""
+
+    def __init__(self, real: sqlite3.Connection, failures: int) -> None:
+        self._real = real
+        self.failures = failures
+        self.attempts = 0
+
+    def execute(self, *args, **kwargs):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise sqlite3.OperationalError("database is locked")
+        return self._real.execute(*args, **kwargs)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._real.__exit__(*exc_info)
+
+
+class TestSqliteBusyRetry:
+    def test_busy_classifier(self):
+        assert is_sqlite_busy(sqlite3.OperationalError("database is locked"))
+        assert is_sqlite_busy(sqlite3.OperationalError("database is busy"))
+        assert not is_sqlite_busy(
+            sqlite3.OperationalError("attempt to write a readonly database")
+        )
+        assert not is_sqlite_busy(ValueError("database is locked"))  # wrong type
+
+    def test_write_rides_out_lock_contention(self, tmp_path):
+        store = SqliteStore(
+            tmp_path / "c.db", retry=RetryPolicy(attempts=4, base_delay=0.001)
+        )
+        flaky = _FlakyConnection(store._connect(), failures=2)
+        store._conn = flaky  # type: ignore[assignment]
+        store.write("k", payload_for("k", 7))
+        assert flaky.attempts == 3  # two BUSY failures, then success
+        store._conn = flaky._real
+        assert store.get("k")["meta"]["budget"] == 7
+        store.close()
+
+    def test_persistent_lock_error_escapes(self, tmp_path):
+        store = SqliteStore(
+            tmp_path / "c.db", retry=RetryPolicy(attempts=2, base_delay=0.001)
+        )
+        flaky = _FlakyConnection(store._connect(), failures=99)
+        store._conn = flaky  # type: ignore[assignment]
+        with pytest.raises(sqlite3.OperationalError):
+            store.write("k", payload_for("k"))
+        store._conn = flaky._real
+        store.close()
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Responds 503 to the first N requests, then 200 with a fixed body."""
+
+    protocol_version = "HTTP/1.1"
+    remaining_failures = 0
+    body = b"{}"
+
+    def do_GET(self):
+        cls = type(self)
+        if cls.remaining_failures > 0:
+            cls.remaining_failures -= 1
+            data = b'{"error": "warming up"}'
+            self.send_response(503)
+        else:
+            data = cls.body
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *args):  # noqa: D102
+        pass
+
+
+class TestHttpRetry:
+    def test_transient_5xx_retries_until_success(self):
+        class Handler(_FlakyHandler):
+            remaining_failures = 2
+            body = json.dumps({"ok": True, "backend": "x", "store": "x"}).encode()
+
+        with flaky_server(Handler) as url:
+            store = HttpStore(url, retry=RetryPolicy(attempts=5, base_delay=0.001))
+            assert store.ping()["ok"] is True  # two 503s absorbed
+            assert Handler.remaining_failures == 0
+            store.close()
+
+    def test_conditional_requests_are_never_replayed(self):
+        """A request carrying If-Match is sent exactly once: its outcome is
+        unknowable after a transport failure, so a replay could turn a
+        committed conditional write into a spurious conflict."""
+
+        class Handler(_FlakyHandler):
+            remaining_failures = 1
+
+            def do_PUT(self):
+                self.do_GET()
+
+        with flaky_server(Handler) as url:
+            store = HttpStore(url, retry=RetryPolicy(attempts=5, base_delay=0.001))
+            with pytest.raises(TransientServiceError):  # one 503, no retry
+                store.write("k", payload_for("k"), if_match='"1"')
+            assert Handler.remaining_failures == 0  # a retry would have hit 200
+            store.close()
+
+    def test_persistent_5xx_raises_transient_error(self):
+        class Handler(_FlakyHandler):
+            remaining_failures = 10**6
+
+        with flaky_server(Handler) as url:
+            store = HttpStore(url, retry=RetryPolicy(attempts=3, base_delay=0.001))
+            with pytest.raises(TransientServiceError):
+                store.ping()
+            store.close()
+
+
+# ---------------------------------------------------------------------- #
+# CLI wiring
+# ---------------------------------------------------------------------- #
+class TestServeCli:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "sqlite:///tmp/x.db", "--host", "0.0.0.0", "--port", "9999"]
+        )
+        assert args.command == "serve"
+        assert args.store == "sqlite:///tmp/x.db"
+        assert args.host == "0.0.0.0" and args.port == 9999
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.store is None and defaults.port == DEFAULT_PORT
+
+    def test_serve_refuses_to_front_an_http_store(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="refusing"):
+            main(["serve", "http://127.0.0.1:8787"])
+
+    def test_serve_requires_a_store(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("MAS_CACHE_URI", raising=False)
+        monkeypatch.delenv("MAS_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["serve"])
+
+    def test_cache_cli_works_against_a_served_store(self, server, client, capsys):
+        from repro.cli import main
+
+        client.put("a", payload_for("a", 1))
+        assert main(["cache", "stats", "--cache", url_of(server)]) == 0
+        out = capsys.readouterr().out
+        assert "entries : 1" in out and "backend : http" in out
+        assert main(["cache", "ls", "--cache", url_of(server)]) == 0
+        assert "mas" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", url_of(server)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out

@@ -1,9 +1,9 @@
 """Tests for the pluggable result-store subsystem (:mod:`repro.store`).
 
-Covers the backend contract for both built-in stores, LRU eviction, URI
-parsing, the v2 -> v3 entry-schema upgrade, jsondir <-> sqlite migration
-(round-trip, zero entry loss, warm sweeps against migrated stores), and
-concurrent SQLite writers.
+Covers the backend contract for all three stores (JSON directory, SQLite,
+and HTTP against a live in-process service), LRU eviction, URI parsing, the
+v2 -> v3 entry-schema upgrade, store migration (round-trip, zero entry loss,
+warm sweeps against migrated stores), and concurrent SQLite writers.
 """
 
 from __future__ import annotations
@@ -17,10 +17,12 @@ import pytest
 from repro.exec import ExperimentRunner, ParallelRunner, ResultCache
 from repro.exec.cache import KEY_SCHEMA_VERSION, tuning_result_to_dict
 from repro.search.autotuner import AutoTuner
+from repro.service import running_server, server_url
 from repro.store import (
     ENTRY_SCHEMA_VERSION,
     EntryInfo,
     EvictionPolicy,
+    HttpStore,
     JsonDirStore,
     SqliteStore,
     make_payload,
@@ -50,15 +52,33 @@ def payload_for(key: str, value: int = 0) -> dict:
     )
 
 
-@pytest.fixture(params=["jsondir", "sqlite"])
+@pytest.fixture
+def store_server(tmp_path):
+    """A live store service over a fresh SQLite backend (one per test)."""
+    with running_server(SqliteStore(tmp_path / "served.db")) as server:
+        yield server
+
+
+@pytest.fixture(params=["jsondir", "sqlite", "http"])
 def store(request, tmp_path):
-    """One instance of each backend, same contract expected of both."""
+    """One instance of each backend, same contract expected of all three.
+
+    The HTTP instance talks to a real in-process service fronting a SQLite
+    store, so every contract test exercises the full client/server path.
+    """
     if request.param == "jsondir":
         yield JsonDirStore(tmp_path / "store")
-    else:
+    elif request.param == "sqlite":
         s = SqliteStore(tmp_path / "store.db")
         yield s
         s.close()
+    else:
+        with running_server(SqliteStore(tmp_path / "served.db")) as server:
+            s = HttpStore(server_url(server))
+            try:
+                yield s
+            finally:
+                s.close()
 
 
 # ---------------------------------------------------------------------- #
@@ -157,8 +177,9 @@ class TestStoreContract:
 
     def test_uri_roundtrips_eviction_policy(self, store):
         """uri() carries the caps, so a reopened capped store stays capped."""
+        location = getattr(store, "path", None) or getattr(store, "root", None) or store.base_url
         capped = type(store)(
-            store.path if hasattr(store, "path") else store.root,
+            location,
             policy=EvictionPolicy(max_entries=7, max_bytes=2048),
         )
         assert "max_entries=7" in capped.uri() and "max_bytes=2048" in capped.uri()
@@ -289,6 +310,24 @@ class TestStoreUris:
             open_store("sqlite://host/c.db")  # network locations unsupported
         with pytest.raises(ValueError):
             open_store("dir:")
+
+    def test_http_scheme_opens_http_store(self):
+        store = open_store("http://127.0.0.1:8787")
+        assert isinstance(store, HttpStore)
+        assert store.uri() == "http://127.0.0.1:8787"
+        # policy params ride on network URIs exactly as on local ones
+        capped = open_store("http://cachehost:8787?max_entries=10&max_bytes=1KiB")
+        assert capped.policy == EvictionPolicy(max_entries=10, max_bytes=1024)
+        assert capped.uri() == "http://cachehost:8787?max_entries=10&max_bytes=1024"
+        # a path prefix (reverse proxy) is kept, trailing slashes are not
+        prefixed = open_store("https://proxy.example/mas/")
+        assert prefixed.uri() == "https://proxy.example/mas"
+
+    def test_bad_http_uris_rejected(self):
+        with pytest.raises(ValueError):
+            open_store("http://")  # no host
+        with pytest.raises(ValueError):
+            open_store("http://host:8787?max_funk=1")  # typo'd cap: loud
 
 
 # ---------------------------------------------------------------------- #
@@ -481,6 +520,144 @@ class TestSweepBitIdentity:
             assert store.read(key)["schema"] == ENTRY_SCHEMA_VERSION
 
 
+class TestHttpSweepBitIdentity:
+    """The acceptance matrix: http:// serves the same sweeps as local stores."""
+
+    def test_all_backends_and_no_cache_agree_at_jobs_1_and_4(
+        self, store_server, tmp_path
+    ):
+        kwargs = dict(search_budget=BUDGET, seed=0)
+        reference = _matrix_fingerprint(
+            ParallelRunner(**kwargs, jobs=1, use_cache=False).run_matrix(
+                FAST_NETWORKS, FAST_METHODS
+            )
+        )
+        uris = [
+            f"dir:{tmp_path}/jsondir",
+            f"sqlite:///{tmp_path}/local.db",
+            server_url(store_server),
+        ]
+        for jobs in (1, 4):
+            nocache = ParallelRunner(**kwargs, jobs=jobs, use_cache=False)
+            assert (
+                _matrix_fingerprint(nocache.run_matrix(FAST_NETWORKS, FAST_METHODS))
+                == reference
+            )
+            for uri in uris:
+                # jobs=1 runs cold (first sight of each store), jobs=4 warm —
+                # both must be bit-identical to the uncached serial sweep.
+                runner = ParallelRunner(**kwargs, jobs=jobs, cache_uri=uri)
+                assert (
+                    _matrix_fingerprint(runner.run_matrix(FAST_NETWORKS, FAST_METHODS))
+                    == reference
+                ), f"mismatch at jobs={jobs} uri={uri}"
+
+    def test_warm_http_sweep_reports_full_hits_across_workers(self, store_server):
+        kwargs = dict(search_budget=BUDGET, seed=0, cache_uri=server_url(store_server))
+        cold = ParallelRunner(**kwargs, jobs=2)
+        cold.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        cold_stats = cold.cache_stats()
+        assert cold_stats["cache_misses"] == cold_stats["searches"] > 0
+
+        warm = ParallelRunner(**kwargs, jobs=2)
+        warm.run_matrix(FAST_NETWORKS, FAST_METHODS)
+        warm_stats = warm.cache_stats()
+        assert warm_stats["cache_hits"] == cold_stats["searches"]
+        assert warm_stats["cache_misses"] == 0 and warm_stats["searches"] == 0
+
+        # ... and the *service* saw those worker lookups too (fleet metrics).
+        metrics = store_server.service.metrics.snapshot()
+        assert metrics["hits"] >= warm_stats["cache_hits"]
+        assert metrics["misses"] >= cold_stats["cache_misses"]
+
+    def test_migration_into_and_out_of_http_store(self, store_server, tmp_path, tuning):
+        """jsondir -> http -> jsondir round trip: zero loss, batched trips."""
+        origin = JsonDirStore(tmp_path / "origin")
+        for i in range(5):
+            origin.put(
+                f"key{i}", make_payload(f"key{i}", tuning_result_to_dict(tuning))
+            )
+        served = HttpStore(server_url(store_server))
+        back = JsonDirStore(tmp_path / "back")
+        first = migrate_store(origin, served)
+        second = migrate_store(served, back)
+        assert first.migrated == second.migrated == 5
+        assert sorted(back.keys()) == sorted(origin.keys())
+        for key in origin.keys():
+            assert back.read(key) == origin.read(key)
+        served.close()
+
+    def test_unreachable_service_fails_the_runner_eagerly(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            ExperimentRunner(search_budget=BUDGET, cache_uri="http://127.0.0.1:9")
+
+    def test_non_store_http_server_fails_the_runner_eagerly(self):
+        """An HTTP server that answers /healthz with 200 text/html (a random
+        web server, not a store service) gets the same clear error."""
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class WebPage(BaseHTTPRequestHandler):
+            def do_GET(self):
+                data = b"<html>hello</html>"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args):
+                pass
+
+        srv = ThreadingHTTPServer(("127.0.0.1", 0), WebPage)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ValueError, match="unreachable"):
+                ExperimentRunner(
+                    search_budget=BUDGET,
+                    cache_uri=f"http://127.0.0.1:{srv.server_address[1]}",
+                )
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+    def test_non_http_endpoint_fails_the_runner_eagerly(self):
+        """A port speaking something other than HTTP (BadStatusLine) must
+        produce the same clear 'unreachable' error, not a raw traceback."""
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def garbage_server():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                conn.sendall(b"definitely not http\n")
+                conn.close()
+
+        thread = threading.Thread(target=garbage_server, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ValueError, match="unreachable"):
+                ExperimentRunner(
+                    search_budget=BUDGET, cache_uri=f"http://127.0.0.1:{port}"
+                )
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            listener.close()
+
+
 # ---------------------------------------------------------------------- #
 # Concurrency
 # ---------------------------------------------------------------------- #
@@ -499,6 +676,32 @@ def _hammer_sqlite(args: tuple[str, int, int]) -> int:
 
 
 class TestSqliteConcurrency:
+    def test_fork_discards_inherited_connections(self, tmp_path):
+        """A forked child must not share the parent's live connection: the
+        at-fork hook clears it, so any child-side use reconnects fresh."""
+        store = SqliteStore(tmp_path / "forked.db")
+        store.put("k", payload_for("k", 3))
+        assert store._conn is not None  # live connection in the parent
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: report the hook's effect, then a fresh read
+            try:
+                dropped = store._conn is None
+                reread = store.get("k") is not None  # reconnects on demand
+                os.write(write_fd, b"1" if dropped and reread else b"0")
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        try:
+            assert os.waitpid(pid, 0)[1] == 0
+            assert os.read(read_fd, 1) == b"1"
+        finally:
+            os.close(read_fd)
+        assert store._conn is not None  # the parent's connection is untouched
+        assert store.get("k")["meta"]["budget"] == 3
+        store.close()
+
+
     def test_concurrent_writers_produce_consistent_entries(self, tmp_path):
         path = str(tmp_path / "hammer.db")
         rounds = 25

@@ -17,13 +17,18 @@ from repro.workloads.stable_diffusion import (
     sd15_reduced_unet,
 )
 from repro.workloads.suites import (
+    GQA_CONFIGS,
     LONG_CONTEXT_SEQS,
+    MAS_SUITES_FILE_ENV,
     TABLE1_BATCH_SIZES,
     SuiteEntry,
     WorkloadSuite,
+    clear_user_suites,
     get_suite,
     list_suites,
+    load_suites_file,
     parse_suite_spec,
+    register_suite,
 )
 
 
@@ -189,7 +194,14 @@ class TestWorkloadSuites:
 
     @pytest.mark.parametrize(
         "name",
-        ["table1", "table1-batched", "cross-attention", "long-context", "decode-step"],
+        [
+            "table1",
+            "table1-batched",
+            "cross-attention",
+            "long-context",
+            "decode-step",
+            "gqa",
+        ],
     )
     def test_suite_invariants(self, name):
         """Unique entry names, positive shape fields, name-normalized workloads."""
@@ -363,3 +375,325 @@ class TestSuiteSpecs:
         via_batched = get_suite("table1-batched").get_entry("ViT-B/14 @b8")
         assert via_spec == via_batched
         assert via_spec.workload == via_batched.workload
+
+
+class TestGqaSuite:
+    def test_gqa_folding_is_arithmetically_exact(self):
+        """The folded workload carries exactly the MHA arithmetic of q_heads
+        query heads over kv_heads shared K/V heads."""
+        q_heads, kv_heads, seq, emb = 32, 8, 2048, 128
+        folded = AttentionWorkload.gqa(q_heads, kv_heads, seq=seq, emb=emb)
+        # per-query-head work is unchanged: all q_heads heads' MACs are there
+        assert folded.qk_macs == q_heads * seq * seq * emb
+        assert folded.softmax_elements == q_heads * seq * seq
+        assert folded.q_bytes == q_heads * seq * emb * folded.dtype_bytes
+        # ... but K/V carry only the kv_heads shared copies (the GQA win)
+        assert folded.k_bytes == kv_heads * seq * emb * folded.dtype_bytes
+        assert folded.num_head_blocks == kv_heads
+
+    def test_gqa_constructor_validation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            AttentionWorkload.gqa(q_heads=10, kv_heads=3, seq=64, emb=64)
+        with pytest.raises(ValueError):
+            AttentionWorkload.gqa(q_heads=0, kv_heads=1, seq=64, emb=64)
+        mqa = AttentionWorkload.gqa(q_heads=8, kv_heads=1, seq=64, emb=64)
+        assert mqa.heads == 1 and mqa.seq_q == 8 * 64 and mqa.seq_kv == 64
+
+    def test_gqa_suite_matches_its_configs(self):
+        suite = get_suite("gqa")
+        assert len(suite) == len(GQA_CONFIGS)
+        for name, q_heads, kv_heads, seq, emb in GQA_CONFIGS:
+            assert q_heads > kv_heads  # head sharing is the suite's point
+            wl = suite.workload_for(name)
+            assert wl == AttentionWorkload.gqa(
+                q_heads, kv_heads, seq=seq, emb=emb, name=name
+            )
+            assert wl.heads == kv_heads < q_heads
+
+    def test_gqa_composes_with_modifiers(self):
+        batched = get_suite("gqa@batch=4")
+        assert all(e.workload.batch == 4 for e in batched)
+        assert "llama3-8b.gqa @b4" in batched.entry_names()
+        # seq filters key on the *folded* query length (documented behaviour)
+        short = get_suite("gqa@seq<=8192")
+        assert len(short) > 0
+        assert all(e.workload.max_seq <= 8192 for e in short)
+        with pytest.raises(ValueError, match="no entries"):
+            parse_suite_spec("gqa@seq<=64")
+
+
+class TestUserSuites:
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self, monkeypatch):
+        monkeypatch.delenv(MAS_SUITES_FILE_ENV, raising=False)
+        clear_user_suites()
+        yield
+        clear_user_suites()
+
+    def suites_json(self, tmp_path, payload: dict) -> str:
+        import json
+
+        path = tmp_path / "suites.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_load_json_file_registers_suites(self, tmp_path):
+        path = self.suites_json(
+            tmp_path,
+            {
+                "suites": {
+                    "prod": {
+                        "description": "serving shapes",
+                        "entries": [
+                            {"network": "BERT-Base"},
+                            {
+                                "name": "chat",
+                                "q_heads": 32,
+                                "kv_heads": 8,
+                                "seq": 4096,
+                                "emb": 128,
+                                "batch": 4,
+                            },
+                            {"name": "embed", "heads": 16, "seq": 512, "emb": 64},
+                        ],
+                    },
+                    "prod-short": {"base": "prod@seq<=512"},
+                }
+            },
+        )
+        assert load_suites_file(path) == ["prod", "prod-short"]
+        assert "prod" in list_suites() and "prod-short" in list_suites()
+        suite = get_suite("prod")
+        assert suite.description == "serving shapes"
+        assert suite.workload_for("BERT-Base") == get_network("BERT-Base").workload()
+        chat = suite.workload_for("chat")
+        assert chat == AttentionWorkload.gqa(
+            32, 8, seq=4096, emb=128, batch=4, name="chat"
+        )
+        embed = suite.workload_for("embed")
+        assert embed.seq_q == embed.seq_kv == 512
+        # the derived suite saw the entries registered earlier in the file
+        # (chat's folded query length 16384 fails the seq<=512 filter)
+        assert get_suite("prod-short").entry_names() == ["BERT-Base & T5-Base", "embed"]
+        # registered suites compose with spec modifiers like built-ins
+        assert all(e.workload.batch == 8 for e in get_suite("prod@batch=8"))
+
+    def test_load_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "suites.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "[suites.mine]",
+                    'description = "one shape"',
+                    "[[suites.mine.entries]]",
+                    'name = "shape"',
+                    "heads = 4",
+                    "seq = 128",
+                    "emb = 64",
+                ]
+            )
+        )
+        assert load_suites_file(path) == ["mine"]
+        assert get_suite("mine").workload_for("shape").heads == 4
+
+    def test_broken_env_file_raises_every_time_and_rolls_back(
+        self, tmp_path, monkeypatch
+    ):
+        """A failing $MAS_SUITES_FILE load is never cached as success: every
+        lookup re-raises the config error, and the suites registered before
+        the bad one are rolled back (atomic load)."""
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "suites": {
+                        "good": {"entries": [{"network": "XLM"}]},
+                        "bad": {"entries": [{"name": "x", "bogus": 1}]},
+                    }
+                }
+            )
+        )
+        monkeypatch.setenv(MAS_SUITES_FILE_ENV, str(path))
+        with pytest.raises(ValueError, match="bogus"):
+            list_suites()
+        with pytest.raises(ValueError, match="bogus"):  # not cached as loaded
+            list_suites()
+        monkeypatch.delenv(MAS_SUITES_FILE_ENV)
+        assert "good" not in list_suites()  # the partial load was rolled back
+
+    def test_env_file_with_base_derivation(self, tmp_path, monkeypatch):
+        """A 'base' spec inside $MAS_SUITES_FILE resolves through the registry
+        mid-load without re-entering the env loader (regression: recursion)."""
+        import json
+
+        path = tmp_path / "derived.json"
+        path.write_text(
+            json.dumps({"suites": {"short": {"base": "table1@seq<=256"}}})
+        )
+        monkeypatch.setenv(MAS_SUITES_FILE_ENV, str(path))
+        assert "short" in list_suites()
+        assert all(e.workload.max_seq <= 256 for e in get_suite("short"))
+
+    def test_explicit_file_wins_over_env_default(self, tmp_path, monkeypatch):
+        """use_suites_file (the --suites-file flag) replaces $MAS_SUITES_FILE:
+        colliding names keep the flag's version, env-only names are dropped."""
+        import json
+
+        from repro.workloads.suites import use_suites_file
+
+        env_file = tmp_path / "env.json"
+        env_file.write_text(
+            json.dumps(
+                {
+                    "suites": {
+                        "prod": {"entries": [{"network": "XLM"}]},
+                        "env-only": {"entries": [{"network": "XLM"}]},
+                    }
+                }
+            )
+        )
+        monkeypatch.setenv(MAS_SUITES_FILE_ENV, str(env_file))
+        assert len(get_suite("prod")) == 1  # env default loaded
+
+        flag_file = tmp_path / "flag.json"
+        flag_file.write_text(
+            json.dumps(
+                {"suites": {"prod": {"entries": [{"network": "XLM"},
+                                                 {"network": "ViT-B/14"}]}}}
+            )
+        )
+        assert use_suites_file(flag_file) == ["prod"]
+        assert len(get_suite("prod")) == 2  # the flag's version won
+        assert "env-only" not in list_suites()  # env contribution dropped
+
+    def test_explicit_file_ignores_broken_env_even_mid_load(
+        self, tmp_path, monkeypatch
+    ):
+        """A 'base' spec inside the --suites-file resolves through the
+        registry mid-load; the broken $MAS_SUITES_FILE the flag replaces must
+        not be touched by that lookup."""
+        from repro.workloads.suites import use_suites_file
+
+        broken = tmp_path / "broken.json"
+        broken.write_text("not json {")
+        monkeypatch.setenv(MAS_SUITES_FILE_ENV, str(broken))
+        flag_file = tmp_path / "flag.json"
+        flag_file.write_text('{"suites": {"prod": {"base": "table1@batch=8"}}}')
+        assert use_suites_file(flag_file) == ["prod"]
+        assert all(e.workload.batch == 8 for e in get_suite("prod"))
+
+    def test_failed_reload_restores_replaced_suites(self, tmp_path):
+        """A load that replaces a suite and then fails must restore the
+        original, not delete it."""
+        import json
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"suites": {"a": {"entries": [{"network": "XLM"}]}}}))
+        load_suites_file(good)
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "suites": {
+                        "a": {"entries": [{"network": "ViT-B/14"}]},
+                        "b": {"entries": [{"name": "x", "bogus": 1}]},
+                    }
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            load_suites_file(bad)
+        assert get_suite("a").entry_names() == ["XLM"]  # original restored
+        assert "b" not in list_suites()
+
+    def test_env_var_loads_and_unloads(self, tmp_path, monkeypatch):
+        path = self.suites_json(
+            tmp_path,
+            {"suites": {"envsuite": {"entries": [{"network": "XLM"}]}}},
+        )
+        monkeypatch.setenv(MAS_SUITES_FILE_ENV, path)
+        assert "envsuite" in list_suites()
+        assert len(get_suite("envsuite")) == 1
+        # clearing the variable drops exactly the suites it contributed
+        monkeypatch.delenv(MAS_SUITES_FILE_ENV)
+        assert "envsuite" not in list_suites()
+
+    def test_builtin_names_are_protected(self, tmp_path):
+        path = self.suites_json(
+            tmp_path, {"suites": {"table1": {"entries": [{"network": "XLM"}]}}}
+        )
+        with pytest.raises(ValueError, match="built-in"):
+            load_suites_file(path)
+
+    def test_register_suite_conflicts_and_replacement(self):
+        suite = WorkloadSuite(
+            name="custom",
+            description="d",
+            entries=(SuiteEntry("e", AttentionWorkload(heads=2, seq_q=64, seq_kv=64)),),
+        )
+        register_suite(suite)
+        with pytest.raises(ValueError, match="already registered"):
+            register_suite(suite)
+        register_suite(suite, replace_existing=True)  # reload path
+
+    @pytest.mark.parametrize("name", ["v2@prod", "a,b", " padded "])
+    def test_grammar_colliding_names_rejected_at_registration(self, name):
+        """'@'/','/whitespace names would register but never resolve — the
+        spec parser would split them — so registration refuses them loudly."""
+        from dataclasses import replace as dc_replace
+
+        suite = WorkloadSuite(
+            name="placeholder",
+            description="d",
+            entries=(SuiteEntry("e", AttentionWorkload(heads=2, seq_q=64, seq_kv=64)),),
+        )
+        with pytest.raises(ValueError, match="reserved"):
+            register_suite(dc_replace(suite, name=name))
+
+    def test_malformed_files_rejected_loudly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_suites_file(bad)
+        for payload in (
+            {},  # no suites table
+            {"suites": {}},  # empty table
+            {"suites": {"s": {"entries": []}}},  # no entries
+            {"suites": {"s": {"flavour": "?"}}},  # unknown key
+            {"suites": {"s": {"base": "x", "entries": [{}]}}},  # both modes
+            {"suites": {"s": {"entries": [{"heads": 4}]}}},  # nameless shape
+            {"suites": {"s": {"entries": [{"name": "x", "bogus": 1}]}}},
+            {
+                "suites": {
+                    "s": {
+                        "entries": [
+                            {"name": "x", "heads": 2, "q_heads": 4, "kv_heads": 2,
+                             "seq": 64, "emb": 64}
+                        ]
+                    }
+                }
+            },  # heads and q_heads/kv_heads are exclusive
+            {
+                "suites": {
+                    "s": {"entries": [{"name": "x", "q_heads": 4, "kv_heads": 2,
+                                       "emb": 64}]}
+                }
+            },  # GQA without seq
+        ):
+            with pytest.raises((ValueError, KeyError)):
+                load_suites_file(self.suites_json(tmp_path, payload))
+
+    def test_suites_file_cli_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.suites_json(
+            tmp_path,
+            {"suites": {"cli-suite": {"entries": [{"network": "ViT-B/14"}]}}},
+        )
+        assert main(["suites", "--suites-file", path]) == 0
+        assert "cli-suite" in capsys.readouterr().out
+        assert main(["suites", "cli-suite", "--suites-file", path]) == 0
+        assert "ViT-B/14" in capsys.readouterr().out
