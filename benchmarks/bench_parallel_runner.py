@@ -27,20 +27,21 @@ from repro.hardware.presets import simulated_edge_device
 from repro.search.autotuner import AutoTuner, TuningResult
 from repro.service import running_server, server_url
 from repro.store import JsonDirStore, SqliteStore, migrate_store
+from repro.utils import env
 from repro.workloads.networks import get_network
 
-SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
-_networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
+SEARCH_BUDGET = env.int_value("MAS_BENCH_BUDGET")
+_networks_env = env.value("MAS_BENCH_NETWORKS") or ""
 _networks = [n.strip() for n in _networks_env.split(",") if n.strip()]
 #: Three shape-diverse Table-1 networks keep 4 full sweeps fast by default.
 BENCH_NETWORKS = _networks or ["BERT-Base & T5-Base", "ViT-B/16", "XLM"]
-_jobs = int(os.environ.get("MAS_BENCH_JOBS", "1"))
+_jobs = env.int_value("MAS_BENCH_JOBS")
 PARALLEL_JOBS = _jobs if _jobs > 1 else min(4, os.cpu_count() or 1)
 #: Unset/0 picks an automatic worker count; an explicit 1 pins the
 #: "parallel" run serial (useful for isolating pool overhead).
-_search_workers = int(os.environ.get("MAS_BENCH_SEARCH_WORKERS", "0"))
+_search_workers = env.int_value("MAS_BENCH_SEARCH_WORKERS", 0)
 SEARCH_WORKERS = _search_workers if _search_workers >= 1 else min(4, os.cpu_count() or 1)
-INTRA_BUDGET = int(os.environ.get("MAS_BENCH_INTRA_BUDGET", "300"))
+INTRA_BUDGET = env.int_value("MAS_BENCH_INTRA_BUDGET")
 
 
 def _fingerprint(matrix: dict[str, dict[str, MethodRun]]) -> dict[tuple[str, str], tuple]:

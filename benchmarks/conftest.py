@@ -16,22 +16,21 @@ the captured output) and attaches the headline numbers to
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.analysis import ExperimentRunner, ParallelRunner
 from repro.hardware.presets import davinci_like_npu
+from repro.utils import env
 
 #: Tiling-search budget per (method, network) pair.  The paper runs ~10K
 #: iterations offline; this default keeps the full benchmark suite at a few
 #: minutes while preserving the convergence behaviour.  Override with
 #: ``MAS_BENCH_BUDGET=200 pytest benchmarks/ --benchmark-only``.
-SEARCH_BUDGET = int(os.environ.get("MAS_BENCH_BUDGET", "40"))
+SEARCH_BUDGET = env.int_value("MAS_BENCH_BUDGET")
 
 #: Network subset; empty means all 12 Table-1 networks.  Override with e.g.
 #: ``MAS_BENCH_NETWORKS="BERT-Base,ViT-B/14"``.
-_networks_env = os.environ.get("MAS_BENCH_NETWORKS", "")
+_networks_env = env.value("MAS_BENCH_NETWORKS") or ""
 NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
 
 #: Worker processes for the tuning+simulation matrix (1 = serial) and the
@@ -39,15 +38,15 @@ NETWORKS = [n.strip() for n in _networks_env.split(",") if n.strip()] or None
 #: ``MAS_BENCH_CACHE_DIR`` (a directory) or ``MAS_BENCH_CACHE_URI`` (a result
 #: -store URI such as ``sqlite:///bench.db``; wins over the directory) set, a
 #: second run of the suite skips every search.
-JOBS = int(os.environ.get("MAS_BENCH_JOBS", "1"))
-CACHE_DIR = os.environ.get("MAS_BENCH_CACHE_DIR") or None
-CACHE_URI = os.environ.get("MAS_BENCH_CACHE_URI") or None
+JOBS = env.int_value("MAS_BENCH_JOBS")
+CACHE_DIR = env.value("MAS_BENCH_CACHE_DIR")
+CACHE_URI = env.value("MAS_BENCH_CACHE_URI")
 
 #: Candidate-evaluation workers inside each pair's tiling search.  Defaults
 #: to the runner default (which itself honours ``MAS_SEARCH_WORKERS``);
 #: override per benchmark session with ``MAS_BENCH_SEARCH_WORKERS=4``.
 #: Results are bit-identical at any worker count.
-_search_workers = os.environ.get("MAS_BENCH_SEARCH_WORKERS", "").strip()
+_search_workers = env.value("MAS_BENCH_SEARCH_WORKERS")
 SEARCH_WORKERS = int(_search_workers) if _search_workers else None
 
 #: Workload suite swept by the table/figure benchmarks (``None`` = Table 1).
@@ -55,7 +54,7 @@ SEARCH_WORKERS = int(_search_workers) if _search_workers else None
 #: benchmark at serving batch 8, ``MAS_BENCH_SUITE=cross-attention`` sweeps
 #: the encoder-decoder registry.  Remember ``MAS_BENCH_NETWORKS`` must then
 #: name entries of that suite.
-SUITE = os.environ.get("MAS_BENCH_SUITE", "").strip() or None
+SUITE = env.value("MAS_BENCH_SUITE")
 
 
 @pytest.fixture(scope="session")

@@ -34,8 +34,6 @@ Examples
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 from typing import Sequence
 
@@ -62,6 +60,7 @@ from repro.analysis import (
 from repro.hardware.presets import get_preset
 from repro.schedulers.registry import list_schedulers, make_scheduler
 from repro.store import EvictionPolicy, HttpStore, migrate_store, open_store, parse_size
+from repro.utils import env
 from repro.utils.serialization import dump_json, to_jsonable
 from repro.utils.units import bytes_to_human
 from repro.workloads.networks import get_network, table1_rows
@@ -265,6 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every request to stderr"
     )
 
+    p = sub.add_parser(
+        "lint",
+        help="run mas-lint, the project-invariant static analysis "
+        "(see docs/dev_tooling.md)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro", "tests"],
+        help="files or directories to lint (default: src/repro tests)",
+    )
+    p.add_argument(
+        "--format", choices=("human", "json"), default="human", help="output format"
+    )
+    p.add_argument(
+        "--docs", default=None, help="env-vars docs table (default: auto-locate)"
+    )
+
     p = sub.add_parser("sweep", help="hardware sensitivity sweep (MAS vs FLAT)")
     p.add_argument(
         "parameter", choices=["l1_bytes", "dram_bytes_per_cycle", "vec_throughput"]
@@ -283,7 +300,7 @@ def _env_cache_target() -> str | None:
     ``$MAS_CACHE_URI``, then ``$MAS_CACHE_DIR`` — so a sweep and a ``cache``
     subcommand run in the same shell always talk to the same store.
     """
-    return os.environ.get("MAS_CACHE_URI") or os.environ.get("MAS_CACHE_DIR") or None
+    return env.value("MAS_CACHE_URI") or env.value("MAS_CACHE_DIR")
 
 
 def _suite_spec(args: argparse.Namespace) -> str:
@@ -477,6 +494,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve_command(args)
+
+    if args.command == "lint":
+        from repro.devtools import lint as devtools_lint
+
+        lint_argv = list(args.paths) + ["--format", args.format]
+        if args.docs:
+            lint_argv += ["--docs", args.docs]
+        return devtools_lint.main(lint_argv)
 
     if args.command == "suites":
         if args.spec:

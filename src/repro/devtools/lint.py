@@ -1,0 +1,258 @@
+"""mas-lint driver: discover files, run checkers, apply suppressions, report.
+
+Usage (both spellings are equivalent; the second is the CI gate)::
+
+    mas-attention lint src/repro tests
+    python -m repro.devtools.lint src/repro tests [--format json] [--docs PATH]
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.  Directory
+arguments are walked recursively for ``*.py``, skipping ``__pycache__`` and
+``lint_fixtures`` directories (the fixtures *seed* violations — they are
+linted only when named explicitly, which is what the self-tests do).
+Unparseable files surface as ``parse-error`` findings rather than crashing
+the run.
+
+Beyond the per-module checkers, the driver cross-checks the environment
+contract: every ``MAS_*`` variable in :data:`repro.utils.env.REGISTRY` must
+appear in the docs table (``docs/env_vars.md``) and vice versa — the table
+is rendered from the registry, so a mismatch means someone edited one side
+by hand (``env-docs`` findings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.base import Checker, ModuleSource
+from repro.devtools.checkers import all_checkers
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.suppress import BAD_SUPPRESSION, parse_suppressions
+
+__all__ = ["LintResult", "known_checks", "lint_paths", "main"]
+
+#: Check id for files the parser rejects.
+PARSE_ERROR = "parse-error"
+
+#: Check id for registry/docs-table drift.
+ENV_DOCS = "env-docs"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "lint_fixtures"})
+
+_DOCS_VAR_RE = re.compile(r"`(MAS_[A-Z][A-Z0-9_]*)`")
+
+
+def known_checks(checkers: list[Checker] | None = None) -> frozenset[str]:
+    """Every id a suppression tag may name."""
+    ids: set[str] = {BAD_SUPPRESSION, PARSE_ERROR, ENV_DOCS}
+    for checker in checkers if checkers is not None else all_checkers():
+        ids.update(getattr(checker, "ids", (checker.id,)))
+    return frozenset(ids)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.sorted()]
+        noun = "finding" if len(lines) == 1 else "findings"
+        lines.append(
+            f"mas-lint: {len(self.findings)} {noun} in "
+            f"{self.files_checked} files"
+        )
+        return "\n".join(lines)
+
+    def as_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "findings": [finding.as_dict() for finding in self.sorted()],
+            },
+            indent=2,
+        )
+
+
+def _discover(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(part in _SKIP_DIRS for part in relative.parts[:-1]):
+                    continue
+                files.append(candidate)
+        else:
+            # Explicitly named files are always linted, fixtures included.
+            files.append(path)
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _locate_docs(paths: list[Path]) -> Path | None:
+    """Find ``docs/env_vars.md`` by walking up from each input path."""
+    for start in [*paths, Path.cwd()]:
+        node = start.resolve()
+        if node.is_file():
+            node = node.parent
+        for ancestor in [node, *node.parents]:
+            candidate = ancestor / "docs" / "env_vars.md"
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def _check_env_docs(docs_path: Path | None) -> list[Finding]:
+    from repro.utils.env import REGISTRY
+
+    if docs_path is None:
+        return []
+    documented: dict[str, int] = {}
+    for lineno, line in enumerate(docs_path.read_text().splitlines(), start=1):
+        for name in _DOCS_VAR_RE.findall(line):
+            documented.setdefault(name, lineno)
+    findings: list[Finding] = []
+    for name in sorted(set(REGISTRY) - set(documented)):
+        findings.append(
+            Finding(
+                path=str(docs_path),
+                line=1,
+                col=1,
+                check=ENV_DOCS,
+                severity=Severity.ERROR,
+                message=(
+                    f"{name} is registered in repro.utils.env but missing from "
+                    f"the docs table — re-render it with "
+                    f"repro.utils.env.render_markdown_table()"
+                ),
+            )
+        )
+    for name in sorted(set(documented) - set(REGISTRY)):
+        findings.append(
+            Finding(
+                path=str(docs_path),
+                line=documented[name],
+                col=1,
+                check=ENV_DOCS,
+                severity=Severity.ERROR,
+                message=(
+                    f"{name} appears in the docs table but is not registered "
+                    f"in repro.utils.env — register it or drop the row"
+                ),
+            )
+        )
+    return findings
+
+
+def lint_paths(
+    paths: list[Path] | list[str],
+    docs_path: Path | None = None,
+    checkers: list[Checker] | None = None,
+) -> LintResult:
+    """Lint files/directories and return every unsuppressed finding."""
+    roots = [Path(p) for p in paths]
+    active = checkers if checkers is not None else all_checkers()
+    known = known_checks(active)
+    result = LintResult()
+    for path in _discover(roots):
+        result.files_checked += 1
+        try:
+            module = ModuleSource.parse(path)
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            result.findings.append(
+                Finding(
+                    path=str(path),
+                    line=line,
+                    col=1,
+                    check=PARSE_ERROR,
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+            continue
+        suppressions = parse_suppressions(str(path), module.text, known)
+        for checker in active:
+            for finding in checker.run(module):
+                if not suppressions.suppresses(finding):
+                    result.findings.append(finding)
+        result.findings.extend(suppressions.findings)
+    if docs_path is None:
+        docs_path = _locate_docs(roots)
+    result.findings.extend(_check_env_docs(docs_path))
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="mas-lint: project-invariant static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to lint (dirs recurse)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--docs",
+        default=None,
+        help="path to the env-vars docs table (default: auto-locate "
+        "docs/env_vars.md; the registry cross-check is skipped when absent)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list the checks and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_checks:
+        for checker in all_checkers():
+            for check_id in getattr(checker, "ids", (checker.id,)):
+                print(f"{check_id}: {checker.description}")
+        print(f"{BAD_SUPPRESSION}: suppression tags must name a known check and a reason")
+        print(f"{ENV_DOCS}: docs/env_vars.md must match the repro.utils.env registry")
+        print(f"{PARSE_ERROR}: every linted file must parse")
+        return 0
+    roots = [Path(p) for p in args.paths]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")  # exits 2
+    docs = Path(args.docs) if args.docs else None
+    result = lint_paths(roots, docs_path=docs)
+    output = result.as_json() if args.format == "json" else result.format_human()
+    print(output)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,6 @@ form.  On top of that this module adds:
 from __future__ import annotations
 
 import http.client
-import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +37,7 @@ from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
 from repro.search.parallel import resolve_backend, resolve_workers
 from repro.store import HttpStore, MAS_CACHE_URI_ENV, TransientServiceError, open_store
+from repro.utils import env
 from repro.utils.validation import check_positive_int
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.suites import WorkloadSuite, get_suite
@@ -190,7 +190,7 @@ class ExperimentRunner:
             return self.cache_uri
         if self.cache_dir is not None:
             return str(self.cache_dir)
-        return os.environ.get(MAS_CACHE_URI_ENV, "").strip() or None
+        return env.value(MAS_CACHE_URI_ENV)
 
     # ------------------------------------------------------------------ #
     def methods(self, subset: list[str] | None = None) -> list[str]:

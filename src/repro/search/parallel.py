@@ -28,11 +28,11 @@ Backends
 
 from __future__ import annotations
 
-import os
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro.utils import env
 from repro.utils.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (objective imports us)
@@ -61,11 +61,7 @@ BACKENDS: tuple[str, ...] = ("thread", "process")
 def resolve_workers(workers: int | None) -> int:
     """``workers`` if given, else ``$MAS_SEARCH_WORKERS``, else 1 (serial)."""
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        try:
-            workers = int(raw) if raw else 1
-        except ValueError as exc:
-            raise ValueError(f"${WORKERS_ENV}={raw!r} is not an integer") from exc
+        workers = env.int_value(WORKERS_ENV)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
@@ -74,7 +70,7 @@ def resolve_workers(workers: int | None) -> int:
 def resolve_backend(backend: str | None) -> str:
     """``backend`` if given, else ``$MAS_SEARCH_BACKEND``, else ``"thread"``."""
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "").strip() or "thread"
+        backend = env.value(BACKEND_ENV) or "thread"
     require(backend in BACKENDS, f"unknown backend {backend!r}; options: {BACKENDS}")
     return backend
 
@@ -105,7 +101,7 @@ def _evaluate_in_worker(tiling: "TilingConfig") -> "TilingEvaluation":
     return _WORKER_OBJECTIVE.evaluate_uncached(tiling)
 
 
-class ParallelEvaluator:
+class ParallelEvaluator:  # mas-lint: disable=fork-safety(stays in the parent; only module-level execute_pair is submitted)
     """Fans batches of tiling evaluations of one objective over a worker pool.
 
     The pool is created lazily on the first batch that can use it and reused

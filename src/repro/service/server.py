@@ -63,7 +63,7 @@ class _Conflict(Exception):
         self.current = current
 
 
-class ServiceMetrics:
+class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server process only; never pickled to workers)
     """Store-level counters plus per-endpoint latency, served at ``/metrics``.
 
     Everything is monotonic since server start and protected by its own lock
@@ -134,7 +134,7 @@ class ServiceMetrics:
             }
 
 
-class StoreService:
+class StoreService:  # mas-lint: disable=fork-safety(server-side singleton; clients cross processes via HTTP, not pickle)
     """Thread-safe, ETag-versioned facade over one result store."""
 
     def __init__(self, store: ResultStore) -> None:
@@ -145,14 +145,14 @@ class StoreService:
         self._next_version = 0
 
     # ------------------------------------------------------------------ #
-    # ETag bookkeeping (always called with the lock held)
+    # ETag bookkeeping — the *_locked suffix means the caller holds self._lock
     # ------------------------------------------------------------------ #
-    def _bump(self, key: str) -> str:
+    def _bump_locked(self, key: str) -> str:
         self._next_version += 1
         self._versions[key] = self._next_version
-        return self._etag(key)
+        return self._etag_locked(key)
 
-    def _etag(self, key: str) -> str | None:
+    def _etag_locked(self, key: str) -> str | None:
         """Current ETag of ``key``, or ``None`` when no such entry exists.
 
         Entries that predate this server process get a version lazily on
@@ -163,13 +163,13 @@ class StoreService:
         if key not in self._versions:
             if not self.store.exists(key):
                 return None
-            self._bump(key)
+            self._bump_locked(key)
         return f'"{self._versions[key]}"'
 
-    def _check_match(self, key: str, if_match: str | None) -> None:
+    def _check_match_locked(self, key: str, if_match: str | None) -> None:
         if if_match is None:
             return
-        current = self._etag(key)
+        current = self._etag_locked(key)
         if if_match != current:
             self.metrics.count(conflicts=1)
             raise _Conflict(key, current)
@@ -182,7 +182,7 @@ class StoreService:
             payload = self.store.read(key)
             if payload is None:
                 return None, None
-            return payload, self._etag(key)
+            return payload, self._etag_locked(key)
 
     def write(
         self, key: str, payload: dict[str, Any], if_match: str | None = None
@@ -191,14 +191,14 @@ class StoreService:
         # request handler from the actual wire sizes — recomputing them here
         # would re-serialize every payload under the service lock.
         with self._lock:
-            self._check_match(key, if_match)
+            self._check_match_locked(key, if_match)
             self.store.write(key, payload)
             self.metrics.count(puts=1)
-            return self._bump(key)
+            return self._bump_locked(key)
 
     def delete(self, key: str, if_match: str | None = None) -> bool:
         with self._lock:
-            self._check_match(key, if_match)
+            self._check_match_locked(key, if_match)
             existed = self.store.delete(key)
             self._versions.pop(key, None)
             self.metrics.count(deletes=int(existed))
@@ -211,7 +211,7 @@ class StoreService:
             if not self.store.exists(key):
                 return None
             self.store.touch(key)
-            return self._bump(key)
+            return self._bump_locked(key)
 
     def keys(self) -> list[str]:
         with self._lock:
@@ -237,7 +237,7 @@ class StoreService:
                 # The lookup refreshed LRU state (and possibly rewrote the
                 # payload): the entry's version moves, so a concurrently
                 # planned eviction holding the old ETag loses its race.
-                etag = self._bump(key)
+                etag = self._bump_locked(key)
             return payload, status, etag
 
     def put(

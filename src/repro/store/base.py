@@ -184,6 +184,7 @@ class ResultStore(abc.ABC):
             assert payload is not None
             try:
                 self.write(key, payload)
+            # mas-lint: disable=swallowed-exception(write-back is opportunistic; read-only stores retry next lookup)
             except Exception:
                 # Persisting the upgrade is opportunistic: on a read-only
                 # store (a mounted fleet cache, a CI artifact) the converted

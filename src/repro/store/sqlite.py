@@ -199,6 +199,7 @@ class SqliteStore(ResultStore):
         normalized, status = normalize_payload(payload)
         usable = status in ("ok", "upgraded")
         meta = entry_meta(normalized if usable else {})
+        # mas-lint: disable=determinism(LRU last_used bookkeeping, never part of a result payload)
         now = time.time()
 
         def insert() -> None:
@@ -264,6 +265,7 @@ class SqliteStore(ResultStore):
         def run() -> None:
             with self._connect() as conn:
                 conn.execute(
+                    # mas-lint: disable=determinism(LRU last_used bookkeeping, never part of a result payload)
                     "UPDATE entries SET last_used = ? WHERE key = ?", (time.time(), key)
                 )
 

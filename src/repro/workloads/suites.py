@@ -53,11 +53,11 @@ same persistent tuning-cache key (see
 from __future__ import annotations
 
 import json
-import os
 import re
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.utils import env
 from repro.utils.validation import check_positive_int, require
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.networks import get_network, list_networks, resolve_name
@@ -584,7 +584,7 @@ def _ensure_env_suites() -> None:
         # through the registry), or an explicit --suites-file replaced the
         # env default for this process.
         return
-    target = os.environ.get(MAS_SUITES_FILE_ENV, "").strip() or None
+    target = env.value(MAS_SUITES_FILE_ENV)
     if target == _env_suites_file:
         return
     for name in _env_suite_names:

@@ -1,0 +1,19 @@
+"""Seeded determinism violations: ambient RNG state and wall-clock reads."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + random.gauss(0, 1)  # two unseeded draws
+
+
+def stamp():
+    return time.time(), datetime.now()  # two wall-clock reads
+
+
+def noise(n):
+    return np.random.rand(n)  # legacy global numpy RNG

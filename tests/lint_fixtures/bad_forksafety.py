@@ -1,0 +1,18 @@
+"""Seeded fork-safety violations: unpicklable holder, bound-method submit."""
+
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Holder:
+    def __init__(self, path):
+        self.conn = sqlite3.connect(path)  # live resource, no __getstate__
+
+
+class Driver:
+    def step(self, item):
+        return item
+
+    def run(self, items):
+        pool = ProcessPoolExecutor(2)
+        return [pool.submit(self.step, item) for item in items]

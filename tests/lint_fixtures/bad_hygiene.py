@@ -1,0 +1,25 @@
+"""Seeded hygiene violations: schema literals, bare except, swallowed error."""
+
+
+def load(payload):
+    if payload["schema"] == 2:  # schema-version comparison literal
+        payload = {"schema": 3, **payload}  # schema dict literal
+    return payload
+
+
+def build(make_entry):
+    return make_entry(schema=3)  # schema keyword literal
+
+
+def risky(fn):
+    try:
+        return fn()
+    except:  # bare except
+        return None
+
+
+def quiet(fn):
+    try:
+        fn()
+    except Exception:  # swallowed: no raise, no log, no record
+        pass

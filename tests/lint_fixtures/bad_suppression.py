@@ -1,0 +1,15 @@
+"""Seeded bad-suppression violations: reasonless and unknown-check tags.
+
+Neither tag suppresses anything, so the two determinism findings survive
+alongside the two bad-suppression findings.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # mas-lint: disable=determinism
+
+
+def stamp_again():
+    return time.time()  # mas-lint: disable=no-such-check(not a real check)

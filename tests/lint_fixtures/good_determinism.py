@@ -1,0 +1,15 @@
+"""Determinism-compliant twin: seeded generators, and a justified clock tag."""
+
+import time
+
+import numpy as np
+
+
+def noise(n, seed):
+    rng = np.random.default_rng(seed)  # seeded constructor is allowed
+    return rng.normal(size=n)
+
+
+def stamp_for_log():
+    # mas-lint: disable=determinism(log timestamp only, excluded from results)
+    return time.time()

@@ -1,0 +1,11 @@
+"""Env-registry compliant twin: registered names, registry accessors."""
+
+from repro.utils import env
+
+
+def workers():
+    return env.int_value("MAS_SEARCH_WORKERS")
+
+
+def backend():
+    return env.value("MAS_SEARCH_BACKEND")

@@ -1,0 +1,22 @@
+"""Fork-safety compliant twin: pickle hook, module-level submission."""
+
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    return item * 2
+
+
+class Reconnecting:
+    def __init__(self, path):
+        self._path = path
+        self._conn = sqlite3.connect(path)
+
+    def __getstate__(self):
+        return {"_path": self._path, "_conn": None}
+
+
+def run(items):
+    with ProcessPoolExecutor(2) as pool:
+        return list(pool.map(work, items))

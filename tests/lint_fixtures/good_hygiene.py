@@ -1,0 +1,17 @@
+"""Hygiene-compliant twin: schema constants, named excepts, visible handling."""
+
+from repro.store.schema import ENTRY_SCHEMA_VERSION
+
+
+def load(payload):
+    if payload["schema"] == ENTRY_SCHEMA_VERSION:
+        return payload
+    raise ValueError("unsupported schema")
+
+
+def risky(fn, log):
+    try:
+        return fn()
+    except ValueError as exc:
+        log.warning("failed: %s", exc)
+        return None
