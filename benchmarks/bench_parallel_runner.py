@@ -19,12 +19,16 @@ scaling benchmark).
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
 from repro.hardware.presets import simulated_edge_device
+from repro.schedulers.registry import ALL_SCHEDULERS, make_scheduler
 from repro.search.autotuner import AutoTuner, TuningResult
+from repro.search.objective import SchedulerObjective
 from repro.service import running_server, server_url
 from repro.store import JsonDirStore, SqliteStore, migrate_store
 from repro.utils import env
@@ -42,6 +46,12 @@ PARALLEL_JOBS = _jobs if _jobs > 1 else min(4, os.cpu_count() or 1)
 _search_workers = env.int_value("MAS_BENCH_SEARCH_WORKERS", 0)
 SEARCH_WORKERS = _search_workers if _search_workers >= 1 else min(4, os.cpu_count() or 1)
 INTRA_BUDGET = env.int_value("MAS_BENCH_INTRA_BUDGET")
+SEARCH_THROUGHPUT_BUDGET = env.int_value("MAS_BENCH_SEARCH_BUDGET")
+#: The dataflows whose tiling space the tuner actually searches.
+SEARCH_METHODS = [name for name, cls in ALL_SCHEDULERS.items() if cls.searchable]
+#: Perf record emitted by ``test_search_throughput_analytic`` — the trajectory
+#: future PRs regress the candidate-evaluation hot path against.
+BENCH_SEARCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_search.json"
 
 
 def _fingerprint(matrix: dict[str, dict[str, MethodRun]]) -> dict[tuple[str, str], tuple]:
@@ -225,3 +235,183 @@ def test_intra_pair_search_scaling(benchmark):
     benchmark.extra_info["search_workers"] = SEARCH_WORKERS
     benchmark.extra_info["intra_speedup"] = round(t_serial / max(t_parallel, 1e-9), 2)
     benchmark.extra_info["objective_evaluations"] = serial.objective_evaluations
+
+
+def _ga_sweep(env_overrides: dict[str, str]) -> dict:
+    """One GA tuning sweep over (method, network) pairs under ``env_overrides``.
+
+    ``MAS_ANALYTIC`` / ``MAS_ANALYTIC_PRUNE`` are restored afterwards so the
+    three sweep modes cannot leak into each other (or other benchmarks).
+    """
+    knobs = ("MAS_ANALYTIC", "MAS_ANALYTIC_PRUNE")
+    saved = {name: os.environ.get(name) for name in knobs}
+    for name in knobs:
+        os.environ.pop(name, None)
+    os.environ.update(env_overrides)
+    try:
+        tuner = AutoTuner(
+            simulated_edge_device(), strategy="ga", budget=SEARCH_THROUGHPUT_BUDGET, seed=0
+        )
+        start = time.perf_counter()
+        results = {
+            (method, network): tuner.tune(method, get_network(network).workload())
+            for network in BENCH_NETWORKS
+            for method in SEARCH_METHODS
+        }
+        elapsed = time.perf_counter() - start
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    stats = {"num_simulated": 0, "num_infeasible": 0, "num_pruned": 0}
+    candidates = 0
+    for result in results.values():
+        candidates += result.num_evaluations
+        for key in stats:
+            stats[key] += result.analytic_stats[key]
+    return {
+        "results": results,
+        "elapsed_s": elapsed,
+        "candidates": candidates,
+        "candidates_per_s": candidates / max(elapsed, 1e-9),
+        **stats,
+    }
+
+
+def _distinct_tilings(result: TuningResult) -> list:
+    """The distinct candidates a tuning actually evaluated, in first-seen order."""
+    seen = {}
+    for rec in result.history.records:
+        seen.setdefault(
+            (rec.tiling.bb, rec.tiling.hh, rec.tiling.nq, rec.tiling.nkv, rec.tiling.kv_resident),
+            rec.tiling,
+        )
+    return list(seen.values())
+
+
+def test_search_throughput_analytic(benchmark):
+    """Candidates/sec through the candidate-evaluation hot path, analytic vs serial.
+
+    Three full GA sweeps over every searchable (method, network) pair gate the
+    end-to-end behaviour: the analytic pre-pass (default) must reproduce the
+    legacy simulate-everything sweep's best tiling per pair bit-identically,
+    and the opt-in bound-pruned sweep must only skip simulations, never lose a
+    winner.  The >=10x claim is then measured on the hot path itself: the same
+    distinct candidates each sweep evaluated are pushed through the serial
+    path (``evaluate_uncached``: graph build + simulation per candidate) and
+    through the vectorized ``analytic_bounds`` batch pass, and the two
+    candidates/sec rates are compared.  Everything lands in
+    ``BENCH_search.json`` so future PRs have a trajectory to regress against.
+    """
+    legacy = _ga_sweep({"MAS_ANALYTIC": "0"})
+    analytic = _ga_sweep({"MAS_ANALYTIC": "1", "MAS_ANALYTIC_PRUNE": "0"})
+    pruned = _ga_sweep({"MAS_ANALYTIC_PRUNE": "1"})
+
+    # Bit-identity: the pre-pass only short-circuits infeasibles, so the best
+    # tiling (and its value) per pair must match the pre-refactor serial path.
+    for pair, reference in legacy["results"].items():
+        got = analytic["results"][pair]
+        assert got.best_tiling == reference.best_tiling, pair
+        assert got.best_value == reference.best_value, pair
+    assert analytic["num_pruned"] == 0
+    # Pruning may reshape the search trajectory but never crowns a pruned
+    # candidate; its winner must stay within a whisker of the reference.
+    worst_ratio = 1.0
+    for pair, reference in legacy["results"].items():
+        best = pruned["results"][pair].history.best
+        assert best is not None and best.feasible and not best.pruned, pair
+        worst_ratio = max(worst_ratio, best.value / reference.best_value)
+    assert pruned["num_pruned"] > 0
+
+    # Hot path: same distinct candidates, serial simulate vs batched analytic.
+    pairs = []
+    hot_candidates = 0
+    for (method, network), result in analytic["results"].items():
+        tilings = _distinct_tilings(result)
+        hot_candidates += len(tilings)
+        pairs.append((method, get_network(network).workload(), tilings))
+
+    t_serial = 0.0
+    for method, workload, tilings in pairs:
+        objective = SchedulerObjective(
+            make_scheduler(method, simulated_edge_device()), workload, analytic=False
+        )
+        start = time.perf_counter()
+        for tiling in tilings:
+            objective.evaluate_uncached(tiling)
+        t_serial += time.perf_counter() - start
+
+    def analytic_pass() -> int:
+        total = 0
+        for method, workload, tilings in pairs:
+            scheduler = make_scheduler(method, simulated_edge_device())
+            total += len(scheduler.analytic_bounds(workload, tilings))
+        return total
+
+    analytic_pass()  # warm the memoized cost models before timing
+    reps = 5
+    start = time.perf_counter()
+    for _ in range(reps):
+        assert analytic_pass() == hot_candidates
+    t_analytic = (time.perf_counter() - start) / reps
+
+    serial_rate = hot_candidates / max(t_serial, 1e-9)
+    analytic_rate = hot_candidates / max(t_analytic, 1e-9)
+    hot_speedup = analytic_rate / serial_rate
+    assert hot_speedup >= 10.0, f"hot-path speedup {hot_speedup:.1f}x < 10x"
+
+    benchmark.pedantic(analytic_pass, rounds=1, iterations=1)
+
+    record = {
+        "benchmark": "search-throughput",
+        "strategy": "ga",
+        "budget": SEARCH_THROUGHPUT_BUDGET,
+        "seed": 0,
+        "networks": BENCH_NETWORKS,
+        "methods": SEARCH_METHODS,
+        "sweep": {
+            mode: {
+                "elapsed_s": round(data["elapsed_s"], 3),
+                "candidates": data["candidates"],
+                "candidates_per_s": round(data["candidates_per_s"], 1),
+                "num_simulated": data["num_simulated"],
+                "num_infeasible": data["num_infeasible"],
+                "num_pruned": data["num_pruned"],
+            }
+            for mode, data in (("legacy", legacy), ("analytic", analytic), ("prune", pruned))
+        },
+        "prune_speedup_vs_legacy": round(
+            pruned["candidates_per_s"] / legacy["candidates_per_s"], 2
+        ),
+        "prune_worst_best_ratio": round(worst_ratio, 6),
+        "hot_path": {
+            "candidates": hot_candidates,
+            "serial_s": round(t_serial, 3),
+            "analytic_s": round(t_analytic, 6),
+            "serial_candidates_per_s": round(serial_rate, 1),
+            "analytic_candidates_per_s": round(analytic_rate, 1),
+            "speedup": round(hot_speedup, 1),
+        },
+        "identical_best_analytic_vs_legacy": True,
+    }
+    BENCH_SEARCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(
+        f"sweep: {len(SEARCH_METHODS)} methods x {len(BENCH_NETWORKS)} networks, "
+        f"ga budget {SEARCH_THROUGHPUT_BUDGET}"
+    )
+    for mode, data in (("legacy", legacy), ("analytic", analytic), ("prune", pruned)):
+        print(
+            f"{mode:9s}: {data['elapsed_s']:6.2f} s  {data['candidates_per_s']:8.1f} cand/s  "
+            f"(sim {data['num_simulated']}, pruned {data['num_pruned']})"
+        )
+    print(
+        f"hot path : serial {serial_rate:.1f} cand/s vs analytic {analytic_rate:.1f} cand/s "
+        f"-> {hot_speedup:.0f}x"
+    )
+    benchmark.extra_info.update(record["sweep"])
+    benchmark.extra_info["hot_path"] = record["hot_path"]
+    benchmark.extra_info["prune_speedup_vs_legacy"] = record["prune_speedup_vs_legacy"]

@@ -628,7 +628,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command!r}")
     _emit(result.format(), result, args.json_path)
+    _print_search_stats(runner)
     return 0
+
+
+def _print_search_stats(runner: ExperimentRunner) -> None:
+    """One stderr line summarizing how the searches dispatched their candidates.
+
+    Shows the analytic pre-pass accounting (simulated vs. analytically
+    rejected vs. bound-pruned candidates) for sweeps that actually searched;
+    silent on fully warm-cache or no-search runs.
+    """
+    stats = runner.cache_stats()
+    if not stats["searches"]:
+        return
+    print(
+        f"search: {stats['search_evaluations']} candidates over "
+        f"{stats['searches']} searches "
+        f"({stats['search_simulated']} simulated, "
+        f"{stats['search_infeasible']} infeasible, "
+        f"{stats['search_pruned']} pruned)",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

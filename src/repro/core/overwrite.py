@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.costs import Block, TileCosts
-from repro.core.tiling import TilingConfig, operand_tile_bytes, score_block_bytes
+from repro.core.tiling import (
+    TilingConfig,
+    mas_non_evictable_bytes,
+    operand_tile_bytes,
+    score_block_bytes,
+)
 from repro.hardware.config import HardwareConfig
 from repro.utils.validation import ceil_div, require
 from repro.workloads.attention import AttentionWorkload
@@ -121,7 +126,7 @@ class OverwritePlanner:
 
     def non_evictable_bytes(self) -> int:
         """Bytes that can never be overwritten: 2 score blocks + Q and O tiles."""
-        return 2 * self._score + 2 * self._tiles["q"] + 2 * self._tiles["o"]
+        return mas_non_evictable_bytes(self.workload, self.tiling)
 
     def steady_state_bytes(self) -> int:
         """Peak residency of a regular round with no overwriting."""

@@ -35,7 +35,7 @@ from repro.core.tiling import TilingConfig
 from repro.hardware.config import HardwareConfig
 from repro.search.autotuner import TuningResult
 from repro.search.history import SearchHistory, SearchRecord
-from repro.search.objective import TilingEvaluation
+from repro.search.objective import TilingEvaluation, analytic_prune_enabled
 from repro.store import JsonDirStore, make_payload, open_store
 from repro.utils.serialization import to_jsonable
 from repro.workloads.attention import AttentionWorkload
@@ -67,6 +67,7 @@ def tuning_cache_key(
     budget: int,
     metric: str,
     seed: int,
+    analytic_prune: bool | None = None,
 ) -> str:
     """Stable content hash of every input that determines a tuning result.
 
@@ -89,6 +90,8 @@ def tuning_cache_key(
         "metric": metric,
         "seed": seed,
     }
+    if analytic_prune:
+        payload["variant"] = {"analytic_prune": True}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -103,6 +106,7 @@ def _evaluation_to_dict(evaluation: TilingEvaluation) -> dict[str, Any]:
         "cycles": evaluation.cycles,
         "energy_pj": evaluation.energy_pj,
         "value": evaluation.value,
+        "pruned": evaluation.pruned,
     }
 
 
@@ -115,6 +119,7 @@ def _evaluation_from_dict(data: dict[str, Any]) -> TilingEvaluation:
         cycles=int(data["cycles"]),
         energy_pj=float(data["energy_pj"]),
         value=float(data["value"]),
+        pruned=bool(data.get("pruned", False)),
     )
 
 
@@ -166,6 +171,7 @@ def tuning_result_to_dict(result: TuningResult) -> dict[str, Any]:
         "best_value": result.best_value,
         "budget": result.budget,
         "objective_evaluations": result.objective_evaluations,
+        "analytic_stats": result.analytic_stats,
         "history": _history_to_dict(result.history) if result.history is not None else None,
     }
 
@@ -180,6 +186,7 @@ def tuning_result_from_dict(data: dict[str, Any]) -> TuningResult:
         best_value=float(data["best_value"]),
         budget=data.get("budget"),
         objective_evaluations=data.get("objective_evaluations"),
+        analytic_stats=data.get("analytic_stats"),
         history=_history_from_dict(data["history"]) if data["history"] is not None else None,
     )
 

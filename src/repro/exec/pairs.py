@@ -28,7 +28,7 @@ from repro.exec.cache import ResultCache, tuning_cache_key
 from repro.hardware.config import HardwareConfig
 from repro.schedulers.registry import make_scheduler
 from repro.search.autotuner import AutoTuner, TuningResult, default_strategy
-from repro.search.objective import Metric
+from repro.search.objective import Metric, analytic_prune_enabled
 from repro.sim.trace import SimulationResult
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.networks import get_network
@@ -140,8 +140,19 @@ def execute_pair(spec: PairSpec) -> MethodRun:
         # case-insensitive, and the seed must not depend on the spelling.
         seed = pair_seed(spec.seed, scheduler.name, entry_name)
         cache = ResultCache(spec.cache_uri, enabled=spec.use_cache)
+        # Bound pruning changes what a stored tuning means (the search saw
+        # bound values, not simulations, for pruned candidates), so pruned
+        # tunings are keyed as a separate variant — never served to, or
+        # warmed by, exact sweeps.
         key = tuning_cache_key(
-            spec.hardware, scheduler.name, workload, strategy, spec.budget, spec.metric, seed
+            spec.hardware,
+            scheduler.name,
+            workload,
+            strategy,
+            spec.budget,
+            spec.metric,
+            seed,
+            analytic_prune=analytic_prune_enabled(),
         )
         try:
             tuning = cache.load(key)

@@ -310,6 +310,12 @@ class ExperimentRunner:
         :class:`ParallelRunner` open their own cache, so summing the parent's
         own counters (which are always zero there) would undercount every
         parallel sweep.
+
+        ``search_simulated`` / ``search_infeasible`` / ``search_pruned``
+        break ``search_evaluations`` down by how the analytic pre-pass
+        dispatched each candidate: full simulation, rejected without building
+        a task graph, or skipped because its analytic lower bound lost to the
+        incumbent (``$MAS_ANALYTIC_PRUNE``).
         """
         runs = list(self._runs.values())
         searched = [r for r in runs if r.tuned and not r.cached]
@@ -317,6 +323,10 @@ class ExperimentRunner:
         for run in runs:
             for counter, count in (run.store_stats or {}).items():
                 store_totals[counter] = store_totals.get(counter, 0) + count
+        analytic_totals = {"num_simulated": 0, "num_infeasible": 0, "num_pruned": 0}
+        for run in searched:
+            for counter in analytic_totals:
+                analytic_totals[counter] += (run.tuning.analytic_stats or {}).get(counter, 0)
         return {
             "runs": len(runs),
             "cache_hits": sum(1 for r in runs if r.cached),
@@ -329,6 +339,9 @@ class ExperimentRunner:
                 else r.tuning.num_evaluations
                 for r in searched
             ),
+            "search_simulated": analytic_totals["num_simulated"],
+            "search_infeasible": analytic_totals["num_infeasible"],
+            "search_pruned": analytic_totals["num_pruned"],
         }
 
 

@@ -3,12 +3,24 @@
 These functions are the cost primitives of the simulator: every scheduler
 converts its tiled workload into tasks whose cycle counts come from here, so
 relative results between schedulers depend only on these shared models.
+
+Each model exists in two forms that share one expression body: the validated
+scalar form used per-task by :class:`repro.core.costs.TileCosts`, and a
+``*_batch`` form that accepts numpy arrays for any dimension argument and is
+consumed by :class:`repro.core.analytic.BatchedCostModel`.  Because both call
+the same expression, the scalar and vectorized cost layers cannot drift.
 """
 
 from __future__ import annotations
 
 from repro.hardware.config import MacUnitSpec, VecUnitSpec
-from repro.utils.validation import ceil_div, check_positive_int, require
+from repro.utils.arrays import ArrayLike, cdiv
+from repro.utils.validation import check_positive_int, require
+
+
+def matmul_macs_batch(m: ArrayLike, k: ArrayLike, n: ArrayLike) -> ArrayLike:
+    """:func:`matmul_macs` over ints or numpy arrays (no validation)."""
+    return m * k * n
 
 
 def matmul_macs(m: int, k: int, n: int) -> int:
@@ -16,7 +28,14 @@ def matmul_macs(m: int, k: int, n: int) -> int:
     check_positive_int(m, "m")
     check_positive_int(k, "k")
     check_positive_int(n, "n")
-    return m * k * n
+    return matmul_macs_batch(m, k, n)
+
+
+def matmul_cycles_batch(spec: MacUnitSpec, m: ArrayLike, k: ArrayLike, n: ArrayLike) -> ArrayLike:
+    """:func:`matmul_cycles` over ints or numpy arrays (no validation)."""
+    passes = cdiv(m, spec.rows) * cdiv(n, spec.cols)
+    per_pass = cdiv(k, spec.macs_per_pe_per_cycle) + spec.fill_overhead_cycles
+    return passes * per_pass
 
 
 def matmul_cycles(spec: MacUnitSpec, m: int, k: int, n: int) -> int:
@@ -29,16 +48,26 @@ def matmul_cycles(spec: MacUnitSpec, m: int, k: int, n: int) -> int:
     check_positive_int(m, "m")
     check_positive_int(k, "k")
     check_positive_int(n, "n")
-    passes = ceil_div(m, spec.rows) * ceil_div(n, spec.cols)
-    per_pass = ceil_div(k, spec.macs_per_pe_per_cycle) + spec.fill_overhead_cycles
-    return passes * per_pass
+    return matmul_cycles_batch(spec, m, k, n)
+
+
+def softmax_vec_ops_batch(rows: ArrayLike, cols: ArrayLike, spec: VecUnitSpec) -> ArrayLike:
+    """:func:`softmax_vec_ops` over ints or numpy arrays (no validation)."""
+    return rows * cols * spec.softmax_ops_per_element
 
 
 def softmax_vec_ops(rows: int, cols: int, spec: VecUnitSpec) -> int:
     """Element-operations charged for a row-wise softmax over a ``rows x cols`` tile."""
     check_positive_int(rows, "rows")
     check_positive_int(cols, "cols")
-    return rows * cols * spec.softmax_ops_per_element
+    return softmax_vec_ops_batch(rows, cols, spec)
+
+
+def softmax_cycles_batch(spec: VecUnitSpec, rows: ArrayLike, cols: ArrayLike) -> ArrayLike:
+    """:func:`softmax_cycles` over ints or numpy arrays (no validation)."""
+    per_row_ops = cols * spec.softmax_ops_per_element
+    per_row_cycles = cdiv(per_row_ops, spec.throughput_ops_per_cycle)
+    return rows * (per_row_cycles + spec.row_overhead_cycles)
 
 
 def softmax_cycles(spec: VecUnitSpec, rows: int, cols: int) -> int:
@@ -49,9 +78,14 @@ def softmax_cycles(spec: VecUnitSpec, rows: int, cols: int) -> int:
     """
     check_positive_int(rows, "rows")
     check_positive_int(cols, "cols")
-    per_row_ops = cols * spec.softmax_ops_per_element
-    per_row_cycles = ceil_div(per_row_ops, spec.throughput_ops_per_cycle)
-    return rows * (per_row_cycles + spec.row_overhead_cycles)
+    return softmax_cycles_batch(spec, rows, cols)
+
+
+def elementwise_cycles_batch(
+    spec: VecUnitSpec, num_elements: ArrayLike, ops_per_element: ArrayLike = 1
+) -> ArrayLike:
+    """:func:`elementwise_cycles` over ints or numpy arrays (no validation)."""
+    return cdiv(num_elements * ops_per_element, spec.throughput_ops_per_cycle)
 
 
 def elementwise_cycles(spec: VecUnitSpec, num_elements: int, ops_per_element: int = 1) -> int:
@@ -63,11 +97,16 @@ def elementwise_cycles(spec: VecUnitSpec, num_elements: int, ops_per_element: in
     check_positive_int(num_elements, "num_elements")
     check_positive_int(ops_per_element, "ops_per_element")
     require(spec.throughput_ops_per_cycle > 0, "throughput must be positive")
-    return ceil_div(num_elements * ops_per_element, spec.throughput_ops_per_cycle)
+    return elementwise_cycles_batch(spec, num_elements, ops_per_element)
+
+
+def elementwise_vec_ops_batch(num_elements: ArrayLike, ops_per_element: ArrayLike = 1) -> ArrayLike:
+    """:func:`elementwise_vec_ops` over ints or numpy arrays (no validation)."""
+    return num_elements * ops_per_element
 
 
 def elementwise_vec_ops(num_elements: int, ops_per_element: int = 1) -> int:
     """Element-operations for a generic element-wise kernel."""
     check_positive_int(num_elements, "num_elements")
     check_positive_int(ops_per_element, "ops_per_element")
-    return num_elements * ops_per_element
+    return elementwise_vec_ops_batch(num_elements, ops_per_element)

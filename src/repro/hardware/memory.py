@@ -4,8 +4,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.config import HardwareConfig, MemoryLevelSpec
-from repro.utils.validation import ceil_div, require
+from repro.utils.arrays import ArrayLike, cdiv
+from repro.utils.validation import require
+
+
+def _transfer_cycles(config: HardwareConfig, num_bytes: ArrayLike) -> ArrayLike:
+    """Shared scalar/array expression for a non-empty transfer's cycle count."""
+    transfer = cdiv(num_bytes, max(1, int(config.dma.bytes_per_cycle)))
+    # Account for fractional bytes/cycle bandwidths (< 1 B/cycle).
+    if config.dma.bytes_per_cycle < 1.0:
+        scaled = num_bytes / config.dma.bytes_per_cycle + 0.999999
+        transfer = scaled.astype(np.int64) if isinstance(scaled, np.ndarray) else int(scaled)
+    return transfer + config.dma.setup_cycles
 
 
 def dma_cycles(config: HardwareConfig, num_bytes: int) -> int:
@@ -18,11 +31,16 @@ def dma_cycles(config: HardwareConfig, num_bytes: int) -> int:
     require(num_bytes >= 0, "num_bytes must be >= 0")
     if num_bytes == 0:
         return 0
-    transfer = ceil_div(num_bytes, max(1, int(config.dma.bytes_per_cycle)))
-    # Account for fractional bytes/cycle bandwidths (< 1 B/cycle).
-    if config.dma.bytes_per_cycle < 1.0:
-        transfer = int(num_bytes / config.dma.bytes_per_cycle + 0.999999)
-    return transfer + config.dma.setup_cycles
+    return _transfer_cycles(config, num_bytes)
+
+
+def dma_cycles_batch(config: HardwareConfig, num_bytes: np.ndarray) -> np.ndarray:
+    """:func:`dma_cycles` over a numpy array of transfer sizes.
+
+    Evaluates the same expression as the scalar form elementwise, including
+    the zero-byte-transfers-are-free rule.
+    """
+    return np.where(num_bytes == 0, 0, _transfer_cycles(config, num_bytes))
 
 
 @dataclass(frozen=True)

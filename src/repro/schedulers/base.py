@@ -4,8 +4,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import ClassVar
+from typing import ClassVar, Sequence
 
+import numpy as np
+
+from repro.core.analytic import (
+    AnalyticBounds,
+    BatchedCostModel,
+    BlockStructure,
+    TilingBatch,
+    as_tiling_batch,
+    batched_cost_model,
+)
 from repro.core.costs import TileCosts, partition_blocks
 from repro.core.tiling import TilingConfig, default_tiling
 from repro.hardware.config import HardwareConfig
@@ -37,6 +47,14 @@ class AttentionScheduler(ABC):
     #: Whether the tiling search should explore this scheduler's tiling space
     #: (FuseMax uses manually selected tiling sizes and is excluded).
     searchable: ClassVar[bool] = True
+    #: Whether :meth:`analytic_bounds` returns exact cycle/energy figures for
+    #: this dataflow rather than lower bounds.  No scheduler currently claims
+    #: exactness (even serialized dataflows overlap DMA with compute), so the
+    #: analytic layer is used for feasibility and provable pruning only.
+    analytic_exact: ClassVar[bool] = False
+    #: Whether the dataflow serializes MAC and VEC work per core (no overlap),
+    #: letting the analytic bound chain the two sums instead of taking the max.
+    analytic_serial_compute: ClassVar[bool] = False
 
     def __init__(self, hardware: HardwareConfig) -> None:
         self.hardware = hardware
@@ -70,6 +88,60 @@ class AttentionScheduler(ABC):
     def blocks(self, workload: AttentionWorkload, tiling: TilingConfig):
         """Per-core block partition of the outer iteration space."""
         return partition_blocks(workload, tiling, self.hardware.num_cores)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized analytic bounds
+    # ------------------------------------------------------------------ #
+    def analytic_bounds(
+        self, workload: AttentionWorkload, tilings: Sequence[TilingConfig] | TilingBatch
+    ) -> AnalyticBounds:
+        """Batched feasibility masks + provable cycle/energy lower bounds.
+
+        Evaluates every candidate of ``tilings`` at once through the
+        :class:`~repro.core.analytic.BatchedCostModel`: the footprint is the
+        scheduler's own (polymorphic) ``footprint_bytes`` expression, and the
+        cycle/energy figures are resource-sum lower bounds on what
+        :meth:`simulate` would report — exact closed forms only where the
+        subclass declares ``analytic_exact``.  Candidates are clamped to the
+        workload exactly as :meth:`simulate` clamps its tiling.
+        """
+        batch = as_tiling_batch(tilings).clamp_to(workload)
+        model = batched_cost_model(workload, self.hardware)
+        structure = model.structure(batch)
+        footprint = np.asarray(self.footprint_bytes(workload, batch))
+        dma = model.dma_cycles_common(batch, structure) + self._analytic_extra_dma(
+            model, batch, structure
+        )
+        mac = model.mac_cycles(batch, structure)
+        vec = self._analytic_vec_cycles(model, batch, structure)
+        cycles = model.cycles_lower_bound(dma, mac, vec, self.analytic_serial_compute)
+        counters = model.counters_common(batch, structure)
+        energy = model.energy_lower_bound(counters, cycles)
+        return AnalyticBounds(
+            footprint_bytes=footprint,
+            hard_infeasible=self._analytic_hard_infeasible(model, batch),
+            cycles=cycles,
+            energy_pj=energy,
+            exact=self.analytic_exact,
+        )
+
+    def _analytic_vec_cycles(
+        self, model: BatchedCostModel, batch: TilingBatch, structure: BlockStructure
+    ) -> np.ndarray:
+        """Total VEC work; default is the full-width softmax every baseline runs."""
+        return model.vec_cycles_full_softmax(structure)
+
+    def _analytic_extra_dma(
+        self, model: BatchedCostModel, batch: TilingBatch, structure: BlockStructure
+    ) -> np.ndarray:
+        """Mandatory DMA traffic beyond Q/K/V/O (e.g. score round-trips)."""
+        return np.zeros(len(batch), dtype=np.int64)
+
+    def _analytic_hard_infeasible(
+        self, model: BatchedCostModel, batch: TilingBatch
+    ) -> np.ndarray:
+        """Candidates that raise even when footprint overflow is tolerated."""
+        return np.zeros(len(batch), dtype=bool)
 
     def simulate(
         self, workload: AttentionWorkload, tiling: TilingConfig | None = None

@@ -27,6 +27,10 @@ class FLATScheduler(AttentionScheduler):
     name = "flat"
     display_name = "FLAT"
     overlaps_compute = False
+    # Each core's QK -> softmax -> PV chain (and the block-to-block serial
+    # dependency below) never overlaps MAC and VEC work, so the analytic bound
+    # may charge their sum instead of their max.
+    analytic_serial_compute = True
 
     def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
         return flat_footprint_bytes(workload, tiling)

@@ -20,10 +20,14 @@ searched tilings (``searchable = False``); the scheduler still accepts any
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.analytic import BatchedCostModel, BlockStructure, TilingBatch
 from repro.core.tiling import TilingConfig, operand_tile_bytes
 from repro.schedulers.base import AttentionScheduler, BuildResult
 from repro.schedulers.common import interleave_block_positions, make_emitters
 from repro.sim.tasks import Task, TaskGraph
+from repro.utils.arrays import amin, awhere
 from repro.workloads.attention import AttentionWorkload
 
 __all__ = ["FuseMaxScheduler"]
@@ -70,13 +74,22 @@ class FuseMaxScheduler(AttentionScheduler):
         """
         tiles = operand_tile_bytes(workload, tiling)
         g = tiling.group_size
-        rows = min(tiling.nq, workload.seq_q)
-        kv = min(tiling.nkv, workload.seq_kv)
+        rows = amin(tiling.nq, workload.seq_q)
+        kv = amin(tiling.nkv, workload.seq_kv)
         score_tile = g * rows * kv * workload.dtype_bytes
-        kv_bytes = (
-            tiles["k_full"] + tiles["v_full"] if tiling.kv_resident else tiles["k"] + tiles["v"]
+        kv_bytes = awhere(
+            tiling.kv_resident, tiles["k_full"] + tiles["v_full"], tiles["k"] + tiles["v"]
         )
         return tiles["q"] + kv_bytes + tiles["o"] + 2 * score_tile
+
+    def _analytic_vec_cycles(
+        self, model: BatchedCostModel, batch: TilingBatch, structure: BlockStructure
+    ):
+        """Online softmax does strictly more VEC work than one full-width pass."""
+        return np.maximum(
+            model.vec_cycles_full_softmax(structure),
+            model.vec_cycles_online_softmax(batch, structure),
+        )
 
     def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
         tiling = tiling.clamp_to(workload)

@@ -9,10 +9,12 @@ memory-bound on the DRAM round-trips of the ``N x N`` intermediate matrices.
 
 from __future__ import annotations
 
+from repro.core.analytic import BatchedCostModel, BlockStructure, TilingBatch
 from repro.core.tiling import TilingConfig, operand_tile_bytes
 from repro.schedulers.base import AttentionScheduler, BuildResult
 from repro.schedulers.common import interleave_block_positions, make_emitters
 from repro.sim.tasks import Task, TaskGraph
+from repro.utils.arrays import amin, awhere
 from repro.workloads.attention import AttentionWorkload
 
 
@@ -22,18 +24,29 @@ class LayerWiseScheduler(AttentionScheduler):
     name = "layerwise"
     display_name = "Layer-Wise"
     overlaps_compute = False
+    # The three barriered stages alternate between MAC-only and VEC-only work,
+    # so MAC and VEC cycles chain rather than overlap.
+    analytic_serial_compute = True
 
     def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
         """Only one operand tile of each kind is resident; scores stream to DRAM."""
         tiles = operand_tile_bytes(workload, tiling)
         g = tiling.group_size
-        rows = min(tiling.nq, workload.seq_q)
-        kv = min(tiling.nkv, workload.seq_kv)
+        rows = amin(tiling.nq, workload.seq_q)
+        kv = amin(tiling.nkv, workload.seq_kv)
         score_tile = g * rows * kv * workload.dtype_bytes
-        kv_bytes = (
-            tiles["k_full"] + tiles["v_full"] if tiling.kv_resident else tiles["k"] + tiles["v"]
+        kv_bytes = awhere(
+            tiling.kv_resident, tiles["k_full"] + tiles["v_full"], tiles["k"] + tiles["v"]
         )
         return tiles["q"] + kv_bytes + tiles["o"] + 2 * score_tile
+
+    def _analytic_extra_dma(
+        self, model: BatchedCostModel, batch: TilingBatch, structure: BlockStructure
+    ):
+        """Score round-trips: C out per tile, C in, P out, P in per block."""
+        return model.dma_cycles_score_tiles(batch, structure) + 3 * model.dma_cycles_score_block(
+            batch, structure
+        )
 
     def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
         tiling = tiling.clamp_to(workload)

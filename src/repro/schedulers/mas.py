@@ -8,8 +8,9 @@ events, footprint, serialized blocks) through ``BuildResult.metadata``.
 
 from __future__ import annotations
 
+from repro.core.analytic import BatchedCostModel, TilingBatch
 from repro.core.mas_attention import build_mas_graph, mas_max_seq_len
-from repro.core.tiling import TilingConfig, mas_footprint_bytes
+from repro.core.tiling import TilingConfig, mas_footprint_bytes, mas_non_evictable_bytes
 from repro.schedulers.base import AttentionScheduler, BuildResult
 from repro.workloads.attention import AttentionWorkload
 
@@ -39,6 +40,13 @@ class MASAttentionScheduler(AttentionScheduler):
 
     def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
         return mas_footprint_bytes(workload, tiling)
+
+    def _analytic_hard_infeasible(self, model: BatchedCostModel, batch: TilingBatch):
+        """MAS tolerates footprint overflow via overwriting, but the planner
+        raises when the non-evictable residency alone exceeds L1 — the same
+        check :meth:`repro.core.overwrite.OverwritePlanner.check_feasible`
+        performs during every build."""
+        return mas_non_evictable_bytes(model.workload, batch) > model.hardware.l1_bytes
 
     def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
         graph, info = build_mas_graph(

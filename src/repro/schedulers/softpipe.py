@@ -9,10 +9,12 @@ reloads ``P``.
 
 from __future__ import annotations
 
+from repro.core.analytic import BatchedCostModel, BlockStructure, TilingBatch
 from repro.core.tiling import TilingConfig, operand_tile_bytes, score_block_bytes
 from repro.schedulers.base import AttentionScheduler, BuildResult
 from repro.schedulers.common import interleave_block_positions, make_emitters
 from repro.sim.tasks import Task, TaskGraph
+from repro.utils.arrays import awhere
 from repro.workloads.attention import AttentionWorkload
 
 
@@ -26,8 +28,14 @@ class SoftPipeScheduler(AttentionScheduler):
     def footprint_bytes(self, workload: AttentionWorkload, tiling: TilingConfig) -> int:
         """Two score blocks are in flight (C_{i+1} being produced, P_i in softmax)."""
         tiles = operand_tile_bytes(workload, tiling)
-        kv_bytes = tiles["k_full"] if tiling.kv_resident else tiles["k"]
+        kv_bytes = awhere(tiling.kv_resident, tiles["k_full"], tiles["k"])
         return 2 * tiles["q"] + kv_bytes + 2 * score_block_bytes(workload, tiling)
+
+    def _analytic_extra_dma(
+        self, model: BatchedCostModel, batch: TilingBatch, structure: BlockStructure
+    ):
+        """P round-trip: one full-block store (stage A) + load (stage B) per block."""
+        return 2 * model.dma_cycles_score_block(batch, structure)
 
     def build(self, workload: AttentionWorkload, tiling: TilingConfig) -> BuildResult:
         tiling = tiling.clamp_to(workload)

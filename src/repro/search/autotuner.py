@@ -61,6 +61,12 @@ class TuningResult:
     #: which also counts memoized re-visits.  ``None`` on results produced
     #: before this accounting existed.
     objective_evaluations: int | None = None
+    #: Breakdown of where those evaluations went, from
+    #: :attr:`repro.search.objective.SchedulerObjective.analytic_stats`:
+    #: full simulations vs. analytically rejected vs. bound-pruned candidates,
+    #: plus which analytic switches were active.  ``None`` on results produced
+    #: before the analytic layer existed.
+    analytic_stats: dict[str, int] | None = None
 
     @property
     def num_evaluations(self) -> int:
@@ -193,6 +199,7 @@ class AutoTuner:
             history=history,
             budget=budget,
             objective_evaluations=objective.num_evaluations,
+            analytic_stats=dict(objective.analytic_stats),
         )
         self._cache[key] = result
         return result

@@ -204,3 +204,24 @@ register(
     "Workload suite swept by the table/figure benchmarks (name or inline "
     "spec; default: Table 1).",
 )
+register(
+    "MAS_ANALYTIC",
+    "1",
+    "Vectorized analytic pre-pass in the search objective: batch feasibility "
+    "masks computed before any task graph is built. Set to `0` to force the "
+    "legacy simulate-everything path.",
+)
+register(
+    "MAS_ANALYTIC_PRUNE",
+    "0",
+    "Prune search candidates whose analytic lower bound on the objective "
+    "already loses to the incumbent (skipping their simulation). Off by "
+    "default: search results are bit-identical to the serial path only when "
+    "disabled.",
+)
+register(
+    "MAS_BENCH_SEARCH_BUDGET",
+    "120",
+    "Search budget per configuration of the candidate-throughput benchmark "
+    "(`benchmarks/bench_parallel_runner.py::test_search_throughput_analytic`).",
+)

@@ -6,13 +6,16 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.overwrite import InfeasibleTilingError
 from repro.core.stream import OpKind, plan_rounds
 from repro.core.tiling import TilingConfig, mas_footprint_bytes, score_block_bytes
 from repro.hardware.buffer import BufferManager, BufferOverflowError
 from repro.hardware.compute_units import matmul_cycles, matmul_macs, softmax_cycles
 from repro.hardware.config import MacUnitSpec, VecUnitSpec
+from repro.hardware.presets import constrained_edge_device, simulated_edge_device
 from repro.numerics.reference import online_softmax, reference_attention, stable_softmax
 from repro.numerics.tiled import flat_attention, fusemax_attention, mas_attention
+from repro.schedulers.registry import list_schedulers, make_scheduler
 from repro.sim.engine import critical_path_cycles, simulate_graph
 from repro.sim.tasks import TaskGraph, TaskKind
 from repro.utils.validation import ceil_div
@@ -304,3 +307,75 @@ class TestSuiteInvariants:
                 suite.filter_seq(op, seq)
         else:
             assert suite.filter_seq(op, seq).entry_names() == expected
+
+
+# --------------------------------------------------------------------------- #
+# Analytic bounds
+# --------------------------------------------------------------------------- #
+#: Two devices so hard-infeasible / footprint-overflow branches both fire:
+#: the paper's edge device (5 MB L1) and its L1-constrained variant.
+_ANALYTIC_DEVICES = (simulated_edge_device(), constrained_edge_device())
+
+
+@st.composite
+def coarse_tilings(draw):
+    """Tilings with row/tile sizes >= 8 so simulated graphs stay small."""
+    return TilingConfig(
+        bb=draw(st.integers(1, 2)),
+        hh=draw(st.integers(1, 4)),
+        nq=draw(st.integers(8, 96)),
+        nkv=draw(st.integers(8, 96)),
+        kv_resident=draw(st.booleans()),
+    )
+
+
+class TestAnalyticBoundProperties:
+    @given(
+        workloads(),
+        coarse_tilings(),
+        st.sampled_from(list_schedulers()),
+        st.sampled_from(_ANALYTIC_DEVICES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_and_bounds_agree_with_simulation(
+        self, workload, tiling, name, hardware
+    ):
+        """analytic_bounds vs. the serial path, for every registered scheduler:
+        feasibility agrees with ``fits``, hard infeasibility predicts the
+        simulator's reject, and the bounds never exceed the simulated cost."""
+        scheduler = make_scheduler(name, hardware)
+        bounds = scheduler.analytic_bounds(workload, [tiling])
+        clamped = tiling.clamp_to(workload)
+        assert bounds.footprint_bytes[0] == scheduler.footprint_bytes(workload, clamped)
+        fits = bounds.footprint_bytes[0] <= hardware.l1_bytes
+        assert fits == scheduler.fits(workload, clamped)
+        try:
+            result = scheduler.simulate(workload, tiling)
+        except InfeasibleTilingError:
+            assert bounds.hard_infeasible[0]
+            return
+        assert not bounds.hard_infeasible[0]
+        assert bounds.cycles[0] <= result.cycles
+        assert bounds.energy_pj[0] <= result.energy_pj + 1e-6
+        if bounds.exact:
+            assert bounds.cycles[0] == result.cycles
+            assert bounds.energy_pj[0] == pytest.approx(result.energy_pj)
+
+    @given(
+        workloads(),
+        st.lists(tilings(), min_size=1, max_size=8),
+        st.sampled_from(list_schedulers()),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_per_candidate_bounds(self, workload, tiling_list, name):
+        """Vectorization is observationally pure: bounding N candidates at once
+        equals bounding each alone (no cross-candidate state)."""
+        scheduler = make_scheduler(name, simulated_edge_device())
+        full = scheduler.analytic_bounds(workload, tiling_list)
+        assert len(full) == len(tiling_list)
+        for index, tiling in enumerate(tiling_list):
+            single = scheduler.analytic_bounds(workload, [tiling])
+            assert full.footprint_bytes[index] == single.footprint_bytes[0]
+            assert full.hard_infeasible[index] == single.hard_infeasible[0]
+            assert full.cycles[index] == single.cycles[0]
+            assert full.energy_pj[index] == pytest.approx(single.energy_pj[0])
