@@ -59,7 +59,15 @@ from repro.analysis import (
 )
 from repro.hardware.presets import get_preset
 from repro.schedulers.registry import list_schedulers, make_scheduler
-from repro.store import EvictionPolicy, HttpStore, migrate_store, open_store, parse_size
+from repro.store import (
+    EvictionPolicy,
+    HttpStore,
+    ShardedStore,
+    migrate_store,
+    open_store,
+    parse_duration,
+    parse_size,
+)
 from repro.utils import env
 from repro.utils.serialization import dump_json, to_jsonable
 from repro.utils.units import bytes_to_human
@@ -120,11 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache",
             dest="cache_uri",
             default=None,
-            help="result-store URI: dir:/path, sqlite:///path.db or "
-            "http://host:8787 (a running 'mas-attention serve'), optionally "
-            "with ?max_entries=N&max_bytes=SIZE eviction caps (precedence: "
-            "--cache, then --cache-dir, then $MAS_CACHE_URI, then "
-            "$MAS_CACHE_DIR)",
+            help="result-store URI: dir:/path, sqlite:///path.db, "
+            "http://host:8787 (a running 'mas-attention serve') or "
+            "shard:http://a:8787,http://b:8787 (a service fleet, "
+            "?replicas=N), optionally with ?max_entries=N&max_bytes=SIZE"
+            "&ttl=AGE eviction caps (precedence: --cache, then --cache-dir, "
+            "then $MAS_CACHE_URI, then $MAS_CACHE_DIR)",
         )
         p.add_argument(
             "--no-cache",
@@ -224,8 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     cp = cache_sub.add_parser(
         "migrate",
-        help="copy every entry of one store into another (jsondir <-> sqlite), "
-        "upgrading old entry schemas on the way",
+        help="copy every entry of one store into another (jsondir <-> sqlite "
+        "<-> http <-> shard), upgrading old entry schemas on the way",
     )
     cp.add_argument("source", help="source store URI or directory")
     cp.add_argument("destination", help="destination store URI or directory")
@@ -240,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--max-entries", type=int, default=None, help="keep at most N entries")
     cp.add_argument(
         "--max-bytes", default=None, help="keep at most SIZE bytes (e.g. 512MiB, 1G)"
+    )
+    cp.add_argument(
+        "--ttl",
+        default=None,
+        help="expire entries unused for longer than AGE (e.g. 600, 30m, 7d)",
     )
 
     cp = cache_sub.add_parser("clear", help="delete every entry of the store")
@@ -425,17 +439,18 @@ def _run_cache_store_command(args: argparse.Namespace, store) -> int:
         return 0
 
     if args.cache_command == "evict":
-        if args.max_entries is None and args.max_bytes is None:
+        if args.max_entries is None and args.max_bytes is None and args.ttl is None:
             policy = store.policy
             if not policy.bounded:
                 raise SystemExit(
-                    "nothing to enforce: pass --max-entries/--max-bytes "
-                    "or put ?max_entries=/?max_bytes= caps in the store URI"
+                    "nothing to enforce: pass --max-entries/--max-bytes/--ttl "
+                    "or put ?max_entries=/?max_bytes=/?ttl= caps in the store URI"
                 )
         else:
             policy = EvictionPolicy(
                 max_entries=args.max_entries,
                 max_bytes=parse_size(args.max_bytes) if args.max_bytes is not None else None,
+                ttl_seconds=parse_duration(args.ttl) if args.ttl is not None else None,
             )
         evicted = store.evict(policy)
         stats = store.stats()
@@ -460,10 +475,10 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     from repro.service import serve_store
 
     store = _open_cache_store(args.store or _env_cache_target())
-    if isinstance(store, HttpStore):
+    if isinstance(store, (HttpStore, ShardedStore)):
         raise SystemExit(
             f"refusing to front {store.uri()}: serve needs the *local* backend "
-            "(dir:/path or sqlite:///path.db), not another HTTP service"
+            "(dir:/path or sqlite:///path.db), not another HTTP service or fleet"
         )
     return serve_store(store, host=args.host, port=args.port, verbose=args.verbose)
 

@@ -36,7 +36,13 @@ from repro.hardware.presets import simulated_edge_device
 from repro.schedulers.registry import get_scheduler, list_schedulers
 from repro.search.objective import Metric
 from repro.search.parallel import resolve_backend, resolve_workers
-from repro.store import HttpStore, MAS_CACHE_URI_ENV, TransientServiceError, open_store
+from repro.store import (
+    HttpStore,
+    MAS_CACHE_URI_ENV,
+    ShardedStore,
+    TransientServiceError,
+    open_store,
+)
 from repro.utils import env
 from repro.utils.validation import check_positive_int
 from repro.workloads.attention import AttentionWorkload
@@ -143,7 +149,10 @@ class ExperimentRunner:
             probe = open_store(self.cache_target)
             if probe is not None:
                 try:
-                    if isinstance(probe, HttpStore):
+                    # A sharded fleet pings too, but its ping() only raises
+                    # when *every* endpoint is dark — a partially-degraded
+                    # fleet still serves (failover covers the rest).
+                    if isinstance(probe, (HttpStore, ShardedStore)):
                         try:
                             probe.ping()
                         # Everything a failed health probe can surface: the

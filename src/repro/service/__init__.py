@@ -7,11 +7,14 @@ the matching :class:`~repro.store.http.HttpStore` client
 standard library (:class:`http.server.ThreadingHTTPServer`), deliberately:
 the reproduction must run anywhere Python does.
 
-* :mod:`repro.service.server` — the :class:`StoreService` facade (one lock,
-  ETag versioning, metrics), the request handler and the ``serve_store``
-  entry point used by the CLI.
+* :mod:`repro.service.server` — the :class:`StoreService` facade (per-key
+  striped locking, ETag versioning, metrics with Prometheus exposition),
+  the request handler and the ``serve_store`` entry point used by the CLI.
+* :mod:`repro.service.locks` — :class:`KeyedLocks`, the striped per-key
+  lock pool with a shared/exclusive store-wide gate.
 """
 
+from repro.service.locks import DEFAULT_STRIPES, KeyedLocks
 from repro.service.server import (
     ServiceMetrics,
     StoreService,
@@ -22,6 +25,8 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "DEFAULT_STRIPES",
+    "KeyedLocks",
     "ServiceMetrics",
     "StoreService",
     "make_server",

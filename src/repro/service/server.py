@@ -3,22 +3,32 @@
 Three layers, separable on purpose:
 
 * :class:`StoreService` — a thread-safe facade over one
-  :class:`~repro.store.base.ResultStore`.  Every operation holds a single
-  re-entrant lock (the backends' connections are not thread-safe and the
-  plan-then-delete eviction sequence must be atomic), maintains per-entry
-  **ETag versions** (bumped on every write *and* touch, so an entry a client
-  just refreshed wins conditional races against cross-host eviction) and
-  feeds :class:`ServiceMetrics`;
+  :class:`~repro.store.base.ResultStore`.  Concurrency is per-key: every
+  operation on one entry holds that key's stripe in a
+  :class:`~repro.service.locks.KeyedLocks` pool (shared store-wide gate),
+  so lookups of distinct keys from different sweep hosts proceed in
+  parallel, while store-wide operations (``evict``/``clear``/``stats``/
+  ``put_many``/``keys``/``entries``) take the gate exclusively and see a
+  frozen store — the plan-then-delete eviction sequence stays atomic.
+  ETag **versions** (bumped on every write *and* touch, so an entry a
+  client just refreshed wins conditional races against cross-host
+  eviction) live under a dedicated metadata lock and feed
+  :class:`ServiceMetrics`;
 * :class:`StoreRequestHandler` — the REST surface (see the table in
   ``docs/store_service.md``): raw entry primitives for the store contract,
   single-round-trip ``/lookup``/``/put`` for the sweep hot path, batch
-  get/put, ``/evict``, ``/stats``, ``/metrics`` and ``/healthz``;
+  get/put, ``/evict``, ``/stats``, ``/metrics`` (JSON, or Prometheus text
+  exposition via content negotiation) and ``/healthz``;
 * :func:`make_server` / :func:`serve_store` — construction and the CLI's
   blocking entry point.
 
 The server is the *only* writer of its backing store, which is what makes
-ETag versions authoritative without any backend cooperation.  Scaling rule
-of thumb: one service per store; many sweep hosts per service.
+ETag versions authoritative without any backend cooperation.  Backends must
+tolerate concurrent calls on *distinct* keys (sqlite serializes internally;
+jsondir writes are atomic per file); same-key and store-wide sequences are
+serialized here.  Scaling rule of thumb: one service per store; many sweep
+hosts per service — and many services behind a
+:class:`~repro.store.shard.ShardedStore` (``docs/store_fleet.md``).
 """
 
 from __future__ import annotations
@@ -34,8 +44,9 @@ from typing import Any, Iterator
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro import __version__
+from repro.service.locks import DEFAULT_STRIPES, KeyedLocks
 from repro.store.base import ResultStore
-from repro.store.eviction import EvictionPolicy
+from repro.store.eviction import EvictionPolicy, parse_duration, parse_size
 
 __all__ = [
     "DEFAULT_PORT",
@@ -53,6 +64,9 @@ DEFAULT_PORT = 8787
 
 #: Path prefix of the store API (mirrored by the client).
 API_PREFIX = "/api/v1"
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _Conflict(Exception):
@@ -85,6 +99,14 @@ class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server proce
         "bytes_served",
     )
 
+    #: Lookup statuses as reported by ``ResultStore.lookup`` -> counter name.
+    _LOOKUP_STATUSES = {
+        "hit": "hits",
+        "upgraded": "upgraded",
+        "stale": "stale",
+        "miss": "misses",
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in self.COUNTERS}
@@ -97,11 +119,19 @@ class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server proce
                 self._counters[name] += amount
 
     def record_lookup(self, status: str) -> None:
-        """Tally one schema-aware lookup outcome (hit/upgraded/miss/stale)."""
-        key = {"hit": "hits", "upgraded": "upgraded", "stale": "stale"}.get(
-            status, "misses"
-        )
-        self.count(**{key: 1})
+        """Tally one schema-aware lookup outcome (hit/upgraded/stale/miss).
+
+        An unknown status raises instead of silently counting as a miss: a
+        new lookup outcome must be given a counter (and a dashboard line)
+        explicitly, or the miss rate silently absorbs it.
+        """
+        counter = self._LOOKUP_STATUSES.get(status)
+        if counter is None:
+            raise ValueError(
+                f"unknown lookup status {status!r}; "
+                f"expected one of {sorted(self._LOOKUP_STATUSES)}"
+            )
+        self.count(**{counter: 1})
 
     def observe(self, endpoint: str, elapsed_ms: float, error: bool = False) -> None:
         """Record one served request against its endpoint label."""
@@ -133,24 +163,82 @@ class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server proce
                 "requests": requests,
             }
 
+    @staticmethod
+    def _label(value: str) -> str:
+        """One Prometheus label value, quoted and escaped."""
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+
+    def render_prometheus(self) -> str:
+        """The counters in Prometheus text exposition format (``/metrics``
+        with ``Accept: text/plain`` or ``?format=prometheus``).
+
+        Same numbers as :meth:`snapshot`, renamed to Prometheus conventions:
+        ``mas_store_<counter>_total``, ``mas_store_uptime_seconds``, and
+        per-endpoint ``mas_store_request*`` series labelled by endpoint.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            endpoints = [(e, dict(s)) for e, s in sorted(self._endpoints.items())]
+            uptime = time.time() - self._started
+        lines: list[str] = []
+        for name, value in counters.items():
+            metric = f"mas_store_{name}_total"
+            lines.append(f"# HELP {metric} Total {name.replace('_', ' ')} since server start.")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        lines.append("# HELP mas_store_uptime_seconds Seconds since server start.")
+        lines.append("# TYPE mas_store_uptime_seconds gauge")
+        lines.append(f"mas_store_uptime_seconds {uptime:.3f}")
+        series = (
+            ("mas_store_requests_total", "counter", "Requests served", "count", 1.0),
+            ("mas_store_request_errors_total", "counter", "5xx responses", "errors", 1.0),
+            ("mas_store_request_seconds_total", "counter", "Time spent serving", "total_ms", 1e-3),
+            ("mas_store_request_seconds_max", "gauge", "Slowest request", "max_ms", 1e-3),
+        )
+        for metric, kind, help_text, field, scale in series:
+            if not endpoints:
+                break
+            lines.append(f"# HELP {metric} {help_text}, by endpoint.")
+            lines.append(f"# TYPE {metric} {kind}")
+            for endpoint, stats in endpoints:
+                value = stats[field] * scale
+                rendered = str(int(value)) if scale == 1.0 else f"{value:.6f}"
+                lines.append(f"{metric}{{endpoint={self._label(endpoint)}}} {rendered}")
+        return "\n".join(lines) + "\n"
+
 
 class StoreService:  # mas-lint: disable=fork-safety(server-side singleton; clients cross processes via HTTP, not pickle)
-    """Thread-safe, ETag-versioned facade over one result store."""
+    """Per-key-locked, ETag-versioned facade over one result store.
 
-    def __init__(self, store: ResultStore) -> None:
+    ``stripes=1`` collapses the keyed pool to one stripe — the old
+    global-lock behaviour, kept reachable as the concurrency benchmark's
+    baseline (``bench_parallel_runner.py::test_service_lock_concurrency``).
+    """
+
+    def __init__(self, store: ResultStore, stripes: int = DEFAULT_STRIPES) -> None:
         self.store = store
+        # The policy is frozen at construction; snapshot boundedness so put()
+        # can pick its lock (stripe vs store gate) before entering either.
+        self._store_bounded = store.policy.bounded
         self.metrics = ServiceMetrics()
-        self._lock = threading.RLock()
+        self._locks = KeyedLocks(stripes)
+        # ETag metadata has its own lock (innermost, never held across store
+        # I/O except the existence probe in _etag_locked): version bumps from
+        # parallel stripes must still serialize on the shared counter.
+        self._meta = threading.Lock()
         self._versions: dict[str, int] = {}
         self._next_version = 0
 
     # ------------------------------------------------------------------ #
-    # ETag bookkeeping — the *_locked suffix means the caller holds self._lock
+    # ETag bookkeeping — these *_locked helpers require the caller to hold
+    # self._meta (the innermost lock; never taken around store I/O except
+    # the existence probe in _etag_locked)
     # ------------------------------------------------------------------ #
     def _bump_locked(self, key: str) -> str:
         self._next_version += 1
         self._versions[key] = self._next_version
-        return self._etag_locked(key)
+        return f'"{self._versions[key]}"'
 
     def _etag_locked(self, key: str) -> str | None:
         """Current ETag of ``key``, or ``None`` when no such entry exists.
@@ -175,61 +263,78 @@ class StoreService:  # mas-lint: disable=fork-safety(server-side singleton; clie
             raise _Conflict(key, current)
 
     # ------------------------------------------------------------------ #
-    # Raw primitives
+    # Raw primitives — each holds its key's stripe (shared store gate)
     # ------------------------------------------------------------------ #
     def read(self, key: str) -> tuple[dict[str, Any] | None, str | None]:
-        with self._lock:
+        with self._locks.key(key):
             payload = self.store.read(key)
             if payload is None:
                 return None, None
-            return payload, self._etag_locked(key)
+            with self._meta:
+                return payload, self._etag_locked(key)
 
     def write(
         self, key: str, payload: dict[str, Any], if_match: str | None = None
     ) -> str:
-        # Byte counters (bytes_served / bytes_stored) are accounted by the
-        # request handler from the actual wire sizes — recomputing them here
-        # would re-serialize every payload under the service lock.
-        with self._lock:
+        with self._locks.key(key):
+            return self._write_key_locked(key, payload, if_match)
+
+    def _write_key_locked(
+        self, key: str, payload: dict[str, Any], if_match: str | None = None
+    ) -> str:
+        """One write; the caller holds ``key``'s stripe or the store gate.
+
+        Byte counters (bytes_served / bytes_stored) are accounted by the
+        request handler from actual payload sizes — recomputing them here
+        would re-serialize every payload inside the locked section.
+        """
+        with self._meta:
             self._check_match_locked(key, if_match)
-            self.store.write(key, payload)
-            self.metrics.count(puts=1)
+        self.store.write(key, payload)
+        self.metrics.count(puts=1)
+        with self._meta:
             return self._bump_locked(key)
 
     def delete(self, key: str, if_match: str | None = None) -> bool:
-        with self._lock:
-            self._check_match_locked(key, if_match)
+        with self._locks.key(key):
+            with self._meta:
+                self._check_match_locked(key, if_match)
             existed = self.store.delete(key)
-            self._versions.pop(key, None)
+            with self._meta:
+                self._versions.pop(key, None)
             self.metrics.count(deletes=int(existed))
             return existed
 
     def touch(self, key: str) -> str | None:
-        with self._lock:
+        with self._locks.key(key):
             # Existence probe, not a payload read: touches are pure LRU
-            # bookkeeping and run under the single service lock.
+            # bookkeeping.
             if not self.store.exists(key):
                 return None
             self.store.touch(key)
-            return self._bump_locked(key)
+            with self._meta:
+                return self._bump_locked(key)
 
+    # ------------------------------------------------------------------ #
+    # Store-wide snapshots — exclusive gate, the store is frozen
+    # ------------------------------------------------------------------ #
     def keys(self) -> list[str]:
-        with self._lock:
+        with self._locks.store():
             return self.store.keys()
 
     def entries(self, filters: dict[str, str]) -> list[dict[str, Any]]:
-        with self._lock:
+        with self._locks.store():
             return [asdict(info) for info in self.store.entries(**filters)]
 
     def stats(self) -> dict[str, Any]:
-        with self._lock:
+        with self._locks.store():
             return self.store.stats().as_dict()
 
     # ------------------------------------------------------------------ #
     # Schema-aware, single-round-trip operations
     # ------------------------------------------------------------------ #
     def lookup(self, key: str) -> tuple[dict[str, Any] | None, str, str | None]:
-        with self._lock:
+        with self._locks.key(key):
             payload, status = self.store.lookup(key)
             self.metrics.record_lookup(status)
             etag = None
@@ -237,54 +342,69 @@ class StoreService:  # mas-lint: disable=fork-safety(server-side singleton; clie
                 # The lookup refreshed LRU state (and possibly rewrote the
                 # payload): the entry's version moves, so a concurrently
                 # planned eviction holding the old ETag loses its race.
-                etag = self._bump_locked(key)
+                with self._meta:
+                    etag = self._bump_locked(key)
             return payload, status, etag
 
     def put(
         self, key: str, payload: dict[str, Any], policy: EvictionPolicy | None
     ) -> tuple[str, list[str]]:
-        """Write + single eviction pass, atomically; returns (etag, evicted)."""
-        with self._lock:
-            etag = self.write(key, payload)
-            evicted = self._evict_locked(policy)
-            return etag, evicted
+        """Write + single eviction pass, atomically; returns (etag, evicted).
+
+        An unbounded put only needs its key's stripe; with caps in play
+        (request or store policy) the write and the eviction pass happen
+        under the exclusive gate so the cap is enforced against a store no
+        other writer is growing mid-plan.
+        """
+        bounded = (policy is not None and policy.bounded) or self._store_bounded
+        if bounded:
+            with self._locks.store():
+                etag = self._write_key_locked(key, payload)
+                return etag, self._evict_store_locked(policy)
+        with self._locks.key(key):
+            return self._write_key_locked(key, payload), []
 
     def read_many(self, keys: list[str]) -> dict[str, dict[str, Any] | None]:
-        with self._lock:
+        with self._locks.keys(keys):
             return self.store.read_many(keys)
 
     def put_many(
         self, entries: dict[str, dict[str, Any]], policy: EvictionPolicy | None
     ) -> list[str]:
-        with self._lock:
+        with self._locks.store():
             for key, payload in entries.items():
-                self.write(key, payload)
-            return self._evict_locked(policy)
+                self._write_key_locked(key, payload)
+            return self._evict_store_locked(policy)
 
     def evict(self, policy: EvictionPolicy | None) -> list[str]:
-        with self._lock:
-            return self._evict_locked(policy)
+        with self._locks.store():
+            return self._evict_store_locked(policy)
 
-    def _evict_locked(self, policy: EvictionPolicy | None) -> list[str]:
-        # A client-shipped policy composes with — never replaces — the caps
-        # the service was launched with: the request's policy is enforced
-        # first, then the store's own, so a client with looser caps cannot
-        # grow a capped store past its configured bound.
+    def _evict_store_locked(self, policy: EvictionPolicy | None) -> list[str]:
+        """One eviction pass; the caller holds the exclusive store gate.
+
+        A client-shipped policy composes with — never replaces — the caps
+        the service was launched with: the request's policy is enforced
+        first, then the store's own, so a client with looser caps cannot
+        grow a capped store past its configured bound.
+        """
         policies = [p for p in (policy, self.store.policy) if p is not None and p.bounded]
         if len(policies) == 2 and policies[0] == policies[1]:
             policies.pop()
         evicted: list[str] = []
         for effective in policies:
             evicted.extend(self.store.evict(effective))
-        for key in evicted:
-            self._versions.pop(key, None)
+        with self._meta:
+            for key in evicted:
+                self._versions.pop(key, None)
         self.metrics.count(evictions=len(evicted))
         return evicted
 
     def clear(self) -> int:
-        with self._lock:
+        with self._locks.store():
             removed = self.store.clear()
-            self._versions.clear()
+            with self._meta:
+                self._versions.clear()
             self.metrics.count(deletes=removed)
             return removed
 
@@ -319,11 +439,12 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:
         self._dispatch("DELETE")
 
-    #: Endpoints whose 200 responses carry entry payloads out / in — the
-    #: byte counters are accounted here, per response/request, so payloads
-    #: are never re-serialized just for metrics.
+    #: Endpoints whose 200 responses carry entry payloads out — bytes_served
+    #: is accounted here from the actual response size.  bytes_stored is
+    #: accounted inside the storing handlers from the *entry payload* bytes
+    #: (not the request Content-Length: the JSON envelope — key, policy
+    #: caps, quoting — is not stored data).
     _SERVING_LABELS = frozenset({"GET /entry", "POST /lookup", "POST /batch/get"})
-    _STORING_LABELS = frozenset({"PUT /entry", "POST /put", "POST /batch/put"})
 
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
@@ -350,17 +471,16 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             query = dict(parse_qsl(parts.query))
             status, payload, headers = handler(*args, query)
             sent = self._send_json(status, payload, headers)
-            if status == 200:
-                if label in self._SERVING_LABELS:
-                    self.service.metrics.count(bytes_served=sent)
-                elif label in self._STORING_LABELS:
-                    self.service.metrics.count(
-                        bytes_stored=int(self.headers.get("Content-Length") or 0)
-                    )
+            if status == 200 and label in self._SERVING_LABELS:
+                self.service.metrics.count(bytes_served=sent)
         except _Conflict as conflict:
             status = 412
+            # The winning ETag rides in the header as well as the body, so a
+            # conditional client can retry without a second GET.
             self._send_json(
-                412, {"error": str(conflict), "etag": conflict.current}
+                412,
+                {"error": str(conflict), "etag": conflict.current},
+                {"ETag": conflict.current} if conflict.current else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             status = 400
@@ -424,6 +544,11 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             return None
         return unquote(quoted)
 
+    @staticmethod
+    def _payload_bytes(payload: dict[str, Any]) -> int:
+        """Size of one entry payload as stored (compact JSON), for metrics."""
+        return len(json.dumps(payload, separators=(",", ":")).encode())
+
     # ------------------------------------------------------------------ #
     # Endpoint handlers: (status, payload, headers)
     # ------------------------------------------------------------------ #
@@ -436,7 +561,16 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             "store": store.uri(),
         }, {}
 
-    def _handle_metrics(self, query: dict) -> tuple[int, dict, dict]:
+    def _handle_metrics(self, query: dict) -> tuple[int, Any, dict]:
+        accept = self.headers.get("Accept") or ""
+        wants_text = (
+            query.get("format") == "prometheus"
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        if wants_text:
+            text = self.service.metrics.render_prometheus()
+            return 200, text, {"Content-Type": PROMETHEUS_CONTENT_TYPE}
         return 200, self.service.metrics.snapshot(), {}
 
     def _handle_stats(self, query: dict) -> tuple[int, dict, dict]:
@@ -459,6 +593,9 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             raise ValueError("entry payload must be a JSON object")
         etag = self.service.write(key, payload, self.headers.get("If-Match"))
+        # The whole request body *is* the entry here, so its wire size is
+        # the stored size.
+        self.service.metrics.count(bytes_stored=len(self._body_bytes))
         return 200, {"stored": True, "etag": etag}, {"ETag": etag}
 
     def _handle_entry_delete(self, key: str, query: dict) -> tuple[int, dict, dict]:
@@ -486,6 +623,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(key, str) or not isinstance(payload, dict):
             raise ValueError("put body must carry a string 'key' and object 'payload'")
         etag, evicted = self.service.put(key, payload, self._body_policy(body))
+        self.service.metrics.count(bytes_stored=self._payload_bytes(payload))
         return 200, {"stored": True, "etag": etag, "evicted": evicted}, {"ETag": etag}
 
     def _handle_batch_get(self, query: dict) -> tuple[int, dict, dict]:
@@ -502,6 +640,9 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         ):
             raise ValueError("batch/put body must map keys to object payloads")
         evicted = self.service.put_many(entries, self._body_policy(body))
+        self.service.metrics.count(
+            bytes_stored=sum(self._payload_bytes(p) for p in entries.values())
+        )
         return 200, {"stored": len(entries), "evicted": evicted}, {}
 
     def _handle_evict(self, query: dict) -> tuple[int, dict, dict]:
@@ -517,12 +658,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     @staticmethod
     def _body_policy(body: dict) -> EvictionPolicy | None:
         """Caps shipped in a request body, or ``None`` for the store policy."""
-        caps = {k: body[k] for k in ("max_entries", "max_bytes") if k in body}
+        caps = {k: body[k] for k in ("max_entries", "max_bytes", "ttl") if k in body}
         if not caps:
             return None
         return EvictionPolicy(
             max_entries=int(caps["max_entries"]) if "max_entries" in caps else None,
-            max_bytes=int(caps["max_bytes"]) if "max_bytes" in caps else None,
+            max_bytes=parse_size(caps["max_bytes"]) if "max_bytes" in caps else None,
+            ttl_seconds=parse_duration(caps["ttl"]) if "ttl" in caps else None,
         )
 
     def _json_body(self) -> dict[str, Any]:
@@ -538,14 +680,28 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def _send_json(
-        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+        self,
+        status: int,
+        payload: dict[str, Any] | str,
+        headers: dict[str, str] | None = None,
     ) -> int:
-        """Send one JSON response; returns the body size in bytes."""
-        data = json.dumps(payload).encode()
+        """Send one response; returns the body size in bytes.
+
+        A ``dict`` payload goes out as JSON; a ``str`` payload goes out
+        verbatim (the Prometheus text exposition), with the content type
+        taken from ``headers``.
+        """
+        extra = dict(headers or {})
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type", "text/plain; charset=utf-8")
+        else:
+            data = json.dumps(payload).encode()
+            content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             if value:
                 self.send_header(name, value)
         self.end_headers()
@@ -563,15 +719,17 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     verbose: bool = False,
+    stripes: int = DEFAULT_STRIPES,
 ) -> ThreadingHTTPServer:
     """A ready-to-run server fronting ``store`` (``port=0`` picks a free one).
 
     The caller owns the lifecycle: run ``serve_forever()`` (typically in a
     thread for tests), then ``shutdown()`` + ``server_close()``.  The
     attached :class:`StoreService` is reachable as ``server.service``.
+    ``stripes`` sizes the per-key lock pool (1 = global-lock behaviour).
     """
     server = ThreadingHTTPServer((host, port), StoreRequestHandler)
-    server.service = StoreService(store)  # type: ignore[attr-defined]
+    server.service = StoreService(store, stripes=stripes)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 
@@ -597,6 +755,7 @@ def running_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    stripes: int = DEFAULT_STRIPES,
 ) -> Iterator[ThreadingHTTPServer]:
     """A served store on a daemon thread, torn down (store included) on exit.
 
@@ -604,7 +763,7 @@ def running_server(
     in the background, then ``shutdown``/``server_close``/``store.close`` —
     in one place instead of copy-pasted around every fixture.
     """
-    server = make_server(store, host=host, port=port, verbose=verbose)
+    server = make_server(store, host=host, port=port, verbose=verbose, stripes=stripes)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:

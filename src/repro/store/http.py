@@ -50,7 +50,16 @@ class TransientServiceError(RuntimeError):
 
 
 class StoreConflictError(RuntimeError):
-    """A conditional request lost its race: the entry's ETag moved (HTTP 412)."""
+    """A conditional request lost its race: the entry's ETag moved (HTTP 412).
+
+    ``current_etag`` carries the winning version (when the server reported
+    one), so the loser can re-read its assumptions and retry conditionally
+    without an extra GET just to learn the new tag.
+    """
+
+    def __init__(self, message: str, current_etag: str | None = None) -> None:
+        super().__init__(message)
+        self.current_etag = current_etag
 
 
 def _is_transient(exc: BaseException) -> bool:
@@ -180,7 +189,8 @@ class HttpStore(ResultStore):
             )
         if status == 412:
             raise StoreConflictError(
-                (payload or {}).get("error", f"{method} {path}: entry version moved")
+                (payload or {}).get("error", f"{method} {path}: entry version moved"),
+                current_etag=etag or (payload or {}).get("etag"),
             )
         if status not in ok:
             message = (payload or {}).get("error", f"unexpected status {status}")
@@ -327,10 +337,14 @@ class HttpStore(ResultStore):
         return payload or {}
 
     @staticmethod
-    def _policy_body(policy: EvictionPolicy | None) -> dict[str, int]:
+    def _policy_body(policy: EvictionPolicy | None) -> dict[str, int | float]:
         if policy is None:
             return {}
-        caps = {"max_entries": policy.max_entries, "max_bytes": policy.max_bytes}
+        caps = {
+            "max_entries": policy.max_entries,
+            "max_bytes": policy.max_bytes,
+            "ttl": policy.ttl_seconds,
+        }
         return {name: value for name, value in caps.items() if value is not None}
 
     def __len__(self) -> int:

@@ -1,0 +1,582 @@
+"""Sharded result store: consistent hashing over a fleet of HTTP services.
+
+A :class:`ShardedStore` makes N independent ``mas-attention serve``
+processes look like one :class:`~repro.store.base.ResultStore`.  URI form::
+
+    shard:http://a:8787,http://b:8787?replicas=2&max_entries=10000
+
+Four mechanisms, each deliberately simple:
+
+* **consistent hashing** — every key hashes onto a ring of virtual nodes
+  (``VNODES`` per endpoint, md5-placed), and its *owners* are the first
+  ``replicas`` distinct endpoints clockwise from the key.  Adding or
+  removing a shard remaps only the keys whose ring arcs moved, not the
+  whole population — a resized fleet re-warms incrementally instead of
+  from scratch;
+* **health-aware failover** — an endpoint whose transport fails (connection
+  refused/reset, 5xx after the client's own retries) is marked *down* for a
+  cooldown window and skipped; reads fall through to the next owner, and a
+  key whose owners are all dark degrades to a **miss** (the sweep recomputes
+  — a cache must never corrupt results, only lose warmth).  Probes via the
+  services' ``/healthz`` bring an endpoint back after the cooldown;
+* **best-effort replication** (``?replicas=R``) — writes go to every
+  reachable owner; a replica read that had to skip a dead primary repairs
+  the primary on its next write opportunity (read-repair).  Replication is
+  availability, not durability: with ``replicas=1`` a dead shard simply
+  costs its keys' warmth;
+* **hedged reads** — a key looked up ``HEDGE_THRESHOLD`` times or more is
+  *hot* (every sweep worker wants the same entry); with two or more live
+  owners its lookups race the two fastest owners on per-endpoint hedge
+  lanes and take the first usable answer, bounding tail latency.
+
+Everything stays within the :class:`~repro.store.base.ResultStore` contract,
+so sweeps, ``mas-attention cache`` commands and
+:func:`~repro.store.migrate.migrate_store` work unchanged — batch operations
+fan out per shard and reassemble.  Conditional writes (``if_match``) are not
+supported across shards: ETags are per-server tokens, and the fleet's
+concurrency story is each shard's own service lock plus last-writer-wins
+between shards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any, Callable, Iterable
+
+from repro.store.base import EntryInfo, ResultStore, StoreStats
+from repro.store.eviction import EvictionPolicy
+from repro.store.http import HttpStore, TransientServiceError
+from repro.store.retry import RetryPolicy
+
+__all__ = ["ShardedStore"]
+
+#: Virtual nodes per endpoint on the hash ring — enough that key load stays
+#: within a few percent of uniform for small fleets.
+VNODES = 64
+
+#: Seconds a failed endpoint stays out of rotation before being re-probed.
+DEFAULT_COOLDOWN = 5.0
+
+#: Lookups of one key after which its reads are hedged across two owners.
+HEDGE_THRESHOLD = 3
+
+#: Bound on the hot-key counter table (reset when full, not an LRU — the
+#: counters are a heuristic, losing them only delays hedging).
+_HOT_TABLE_LIMIT = 4096
+
+#: Transport-level failures that mark an endpoint down (the client has
+#: already retried transient errors by the time these escape).
+_FAILOVER_ERRORS = (TransientServiceError, http.client.HTTPException, OSError)
+
+
+def _ring_hash(token: str) -> int:
+    """Stable 64-bit position on the hash ring (md5: fast, everywhere)."""
+    return int.from_bytes(hashlib.md5(token.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardedStore(ResultStore):
+    """One logical result store over a consistently-hashed HTTP fleet."""
+
+    backend = "shard"
+
+    def __init__(
+        self,
+        endpoints: Iterable[str],
+        policy: EvictionPolicy | None = None,
+        replicas: int = 1,
+        retry: RetryPolicy | None = None,
+        timeout: float = 30.0,
+        cooldown: float = DEFAULT_COOLDOWN,
+    ) -> None:
+        super().__init__(policy)
+        urls = [url.strip().rstrip("/") for url in endpoints if url.strip()]
+        if not urls:
+            raise ValueError("ShardedStore needs at least one endpoint")
+        if len(set(urls)) != len(urls):
+            raise ValueError(f"duplicate shard endpoints in {urls}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.endpoints = tuple(urls)
+        self.replicas = min(replicas, len(urls))
+        self.cooldown = cooldown
+        # A dead shard must fail over quickly: a shorter per-shard retry
+        # schedule than the standalone client's, because the next owner (or a
+        # recompute) is the real fallback here, not this endpoint recovering.
+        self._retry = retry or RetryPolicy(attempts=2, base_delay=0.05)
+        self._timeout = timeout
+        self._clients = tuple(
+            HttpStore(url, policy=self.policy, retry=self._retry, timeout=timeout)
+            for url in self.endpoints
+        )
+        # Hash ring: (position, endpoint index), sorted by position.
+        self._ring = sorted(
+            (_ring_hash(f"{url}#{v}"), i)
+            for i, url in enumerate(self.endpoints)
+            for v in range(VNODES)
+        )
+        self._ring_positions = [position for position, _ in self._ring]
+        self._health_lock = threading.Lock()
+        self._down_until: dict[int, float] = {}
+        self._fleet_counters = {
+            "failovers": 0,
+            "degraded_misses": 0,
+            "dropped_writes": 0,
+            "read_repairs": 0,
+            "hedged_lookups": 0,
+        }
+        self._hot_counts: dict[str, int] = {}
+        # Hedge lanes, built lazily on the first hot key: per endpoint, one
+        # single-worker executor + one dedicated client, so hedged requests
+        # never share a keep-alive connection with the calling thread.
+        self._hedge_pools: dict[int, ThreadPoolExecutor] = {}
+        self._hedge_clients: dict[int, HttpStore] = {}
+
+    # ------------------------------------------------------------------ #
+    # Ring + health plumbing
+    # ------------------------------------------------------------------ #
+    def _owners(self, key: str) -> list[int]:
+        """Endpoint indices owning ``key``: primary first, then replicas."""
+        start = bisect.bisect_left(self._ring_positions, _ring_hash(key))
+        if start == len(self._ring):
+            start = 0  # wrapped past the highest vnode
+        owners: list[int] = []
+        for offset in range(len(self._ring)):
+            _, idx = self._ring[(start + offset) % len(self._ring)]
+            if idx not in owners:
+                owners.append(idx)
+                if len(owners) == self.replicas:
+                    break
+        return owners
+
+    def _is_up(self, index: int) -> bool:
+        with self._health_lock:
+            until = self._down_until.get(index)
+            if until is None:
+                return True
+            # mas-lint: disable=determinism(failover cooldown bookkeeping; never part of a result payload)
+            if time.monotonic() >= until:
+                del self._down_until[index]
+                return True
+            return False
+
+    def _mark_down(self, index: int) -> None:
+        with self._health_lock:
+            # mas-lint: disable=determinism(failover cooldown bookkeeping; never part of a result payload)
+            self._down_until[index] = time.monotonic() + self.cooldown
+            self._fleet_counters["failovers"] += 1
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._health_lock:
+            self._fleet_counters[name] += amount
+
+    def _try(self, index: int, op: Callable[[HttpStore], Any]) -> tuple[bool, Any]:
+        """Run ``op`` against one endpoint; transport failure marks it down.
+
+        Returns ``(ok, result)`` — service-level errors (404 semantics, bad
+        requests) are *not* failover material and propagate to the caller.
+        """
+        try:
+            return True, op(self._clients[index])
+        except _FAILOVER_ERRORS:
+            self._mark_down(index)
+            return False, None
+
+    def _live_owners(self, key: str) -> list[int]:
+        return [i for i in self._owners(key) if self._is_up(i)]
+
+    def _live_endpoints(self) -> list[int]:
+        return [i for i in range(len(self.endpoints)) if self._is_up(i)]
+
+    # ------------------------------------------------------------------ #
+    # URI / lifecycle
+    # ------------------------------------------------------------------ #
+    def uri(self) -> str:
+        base = "shard:" + ",".join(self.endpoints)
+        query = self.policy.as_query()
+        if self.replicas > 1:
+            joiner = "&" if query else "?"
+            query = f"{query}{joiner}replicas={self.replicas}"
+        return base + query
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+        with self._health_lock:
+            hedge_clients = list(self._hedge_clients.values())
+            hedge_pools = list(self._hedge_pools.values())
+            self._hedge_clients.clear()
+            self._hedge_pools.clear()
+        for pool in hedge_pools:
+            pool.shutdown(wait=False)
+        for client in hedge_clients:
+            client.close()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Workers rebuild connections, hedge lanes and health state from
+        # scratch: sockets and executors never cross fork/pickle, and
+        # monotonic cooldown stamps are meaningless in another process.
+        state = dict(self.__dict__)
+        state["_health_lock"] = None
+        state["_down_until"] = {}
+        state["_hot_counts"] = {}
+        state["_hedge_pools"] = {}
+        state["_hedge_clients"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._health_lock = threading.Lock()
+
+    def ping(self) -> dict[str, Any]:
+        """Fleet health: per-endpoint ``/healthz`` results.
+
+        Raises (the last transport error) only when *no* endpoint answers —
+        a partially-dark fleet still serves, so a sweep may proceed.
+        """
+        shards: dict[str, Any] = {}
+        reachable = 0
+        last_error: Exception | None = None
+        for index, url in enumerate(self.endpoints):
+            try:
+                shards[url] = self._clients[index].ping()
+                reachable += 1
+            except _FAILOVER_ERRORS as exc:
+                self._mark_down(index)
+                shards[url] = {"ok": False, "error": str(exc)}
+                last_error = exc
+        if reachable == 0:
+            assert last_error is not None
+            raise last_error
+        return {
+            "ok": True,
+            "backend": self.backend,
+            "replicas": self.replicas,
+            "reachable": reachable,
+            "shards": shards,
+        }
+
+    def fleet_stats(self) -> dict[str, Any]:
+        """Shard-layer counters + current endpoint health (for tests/CLI)."""
+        with self._health_lock:
+            counters = dict(self._fleet_counters)
+            down = set(self._down_until)
+        return {
+            **counters,
+            "endpoints": {
+                url: ("down" if i in down else "up")
+                for i, url in enumerate(self.endpoints)
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Backend primitives: owner walk with failover
+    # ------------------------------------------------------------------ #
+    def read(self, key: str) -> dict[str, Any] | None:
+        owners = self._owners(key)
+        for position, index in enumerate(owners):
+            if not self._is_up(index):
+                continue
+            ok, payload = self._try(index, lambda c: c.read(key))
+            if not ok:
+                continue
+            if payload is not None:
+                if position > 0:
+                    self._read_repair(key, payload, owners[0])
+                return payload
+            # A reachable owner without the entry: with replication the next
+            # owner may still hold it (it was written before this replica
+            # joined, or this shard lost it); without, it is a miss.
+        return None
+
+    def _read_repair(self, key: str, payload: dict[str, Any], primary: int) -> None:
+        """Copy a replica hit back to the (recovered) primary, best-effort."""
+        if not self._is_up(primary):
+            return
+        ok, _ = self._try(primary, lambda c: c.write(key, payload))
+        if ok:
+            self._count("read_repairs")
+
+    def write(self, key: str, payload: dict[str, Any]) -> Any:
+        token = None
+        stored = 0
+        for index in self._owners(key):
+            if not self._is_up(index):
+                continue
+            ok, etag = self._try(index, lambda c: c.write(key, payload))
+            if ok:
+                stored += 1
+                token = token or etag
+        if stored == 0:
+            # Every owner is dark: drop the write (counted) rather than fail
+            # the computation that produced it — the result is still returned
+            # to the caller, the fleet just stays cold for this key.
+            self._count("dropped_writes")
+        return token
+
+    def delete(self, key: str) -> bool:
+        existed = False
+        for index in self._owners(key):
+            if not self._is_up(index):
+                continue
+            ok, deleted = self._try(index, lambda c: c.delete(key))
+            existed = existed or (ok and bool(deleted))
+        return existed
+
+    def exists(self, key: str) -> bool:
+        for index in self._live_owners(key):
+            ok, payload = self._try(index, lambda c: c.read(key))
+            if ok and payload is not None:
+                return True
+        return False
+
+    def touch(self, key: str) -> None:
+        for index in self._live_owners(key):
+            self._try(index, lambda c: c.touch(key))
+
+    def keys(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for index in self._live_endpoints():
+            ok, keys = self._try(index, lambda c: c.keys())
+            if not ok:
+                continue
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    ordered.append(key)
+        return ordered
+
+    def _list_entries(self) -> list[EntryInfo]:
+        # Replicas hold the same key on several shards: dedupe on key,
+        # keeping the freshest copy so LRU-ordered listings stay meaningful.
+        best: dict[str, EntryInfo] = {}
+        for index in self._live_endpoints():
+            ok, infos = self._try(index, lambda c: c.entries())
+            if not ok:
+                continue
+            for info in infos:
+                current = best.get(info.key)
+                if current is None or info.last_used > current.last_used:
+                    best[info.key] = info
+        return list(best.values())
+
+    def entries(self, **filters: str | None) -> list[EntryInfo]:
+        active = self._check_entry_filters(filters)
+        best: dict[str, EntryInfo] = {}
+        for index in self._live_endpoints():
+            ok, infos = self._try(index, lambda c: c.entries(**active))
+            if not ok:
+                continue
+            for info in infos:
+                current = best.get(info.key)
+                if current is None or info.last_used > current.last_used:
+                    best[info.key] = info
+        return list(best.values())
+
+    def stats(self) -> StoreStats:
+        infos = self._list_entries()
+        from repro.store.schema import ENTRY_SCHEMA_VERSION, UPGRADEABLE_SCHEMAS
+
+        usable = (ENTRY_SCHEMA_VERSION, *UPGRADEABLE_SCHEMAS)
+        return StoreStats(
+            backend=self.backend,
+            location=self.uri(),
+            entries=len(infos),
+            total_bytes=sum(info.size_bytes for info in infos),
+            stale_entries=sum(1 for info in infos if info.schema not in usable),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Schema-aware hot path: lookup with hedging, put with replication
+    # ------------------------------------------------------------------ #
+    def _note_hot(self, key: str) -> bool:
+        """Count one lookup of ``key``; True when the key qualifies as hot."""
+        with self._health_lock:
+            if len(self._hot_counts) >= _HOT_TABLE_LIMIT:
+                self._hot_counts.clear()
+            count = self._hot_counts.get(key, 0) + 1
+            self._hot_counts[key] = count
+            return count >= HEDGE_THRESHOLD
+
+    def _hedge_lane(self, index: int) -> tuple[ThreadPoolExecutor, HttpStore]:
+        """The (executor, client) hedge lane of one endpoint, built lazily.
+
+        One worker per lane serializes hedged requests on that endpoint's
+        dedicated connection — the calling thread keeps the main client.
+        """
+        with self._health_lock:
+            if index not in self._hedge_pools:
+                self._hedge_pools[index] = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"mas-hedge-{index}",
+                )
+                self._hedge_clients[index] = HttpStore(
+                    self.endpoints[index],
+                    policy=self.policy,
+                    retry=self._retry,
+                    timeout=self._timeout,
+                )
+            return self._hedge_pools[index], self._hedge_clients[index]
+
+    def lookup(self, key: str) -> tuple[dict[str, Any] | None, str]:
+        live = self._live_owners(key)
+        if live and self._note_hot(key) and len(live) >= 2:
+            result = self._hedged_lookup(key, live[:2])
+            if result is not None:
+                return result
+        owners = self._owners(key)
+        for position, index in enumerate(owners):
+            if not self._is_up(index):
+                continue
+            ok, result = self._try(index, lambda c: c.lookup(key))
+            if not ok:
+                continue
+            payload, status = result
+            if status in ("hit", "upgraded"):
+                if position > 0:
+                    self._read_repair(key, payload, owners[0])
+                return payload, status
+            # miss/stale on this owner: a replica may still hold the entry.
+        if not any(self._is_up(i) for i in owners):
+            self._count("degraded_misses")
+        return None, "miss"
+
+    def _hedged_lookup(
+        self, key: str, pair: list[int]
+    ) -> tuple[dict[str, Any], str] | None:
+        """Race two owners' lookups; first usable answer wins, or ``None``.
+
+        Both requests run on their endpoints' hedge lanes; the slower one
+        completes harmlessly in its lane (each lane is single-worker, so it
+        cannot collide with a later hedge on the same endpoint).
+        """
+        self._count("hedged_lookups")
+        futures: dict[Future, int] = {}
+        for index in pair:
+            pool, client = self._hedge_lane(index)
+            futures[pool.submit(client.lookup, key)] = index
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                try:
+                    payload, status = future.result()
+                except _FAILOVER_ERRORS:
+                    self._mark_down(index)
+                    continue
+                if status in ("hit", "upgraded"):
+                    return payload, status
+        return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> Any:
+        """Replicated put: each reachable owner runs its own service-side
+        write + policy enforcement (caps apply per shard)."""
+        token = None
+        stored = 0
+        for index in self._owners(key):
+            if not self._is_up(index):
+                continue
+            ok, etag = self._try(index, lambda c: c.put(key, payload))
+            if ok:
+                stored += 1
+                token = token or etag
+        if stored == 0:
+            self._count("dropped_writes")
+        return token
+
+    # ------------------------------------------------------------------ #
+    # Batch operations: group per shard, fan out, reassemble
+    # ------------------------------------------------------------------ #
+    def _group_by_owner(
+        self, keys: Iterable[str], live_only: bool = True
+    ) -> dict[int, list[str]]:
+        """Keys grouped by primary live owner (replica owners fill in for a
+        dead primary); keys with no live owner are absent from the result."""
+        groups: dict[int, list[str]] = {}
+        for key in keys:
+            for index in self._owners(key):
+                if not live_only or self._is_up(index):
+                    groups.setdefault(index, []).append(key)
+                    break
+        return groups
+
+    def read_many(self, keys: list[str]) -> dict[str, dict[str, Any] | None]:
+        results: dict[str, dict[str, Any] | None] = {key: None for key in keys}
+        unresolved = list(dict.fromkeys(keys))
+        # Walk owner ranks: primaries first, then replicas for whatever is
+        # still unresolved (dead primary, or a replica-only copy).
+        for _rank in range(self.replicas):
+            if not unresolved:
+                break
+            groups = self._group_by_owner(unresolved)
+            if not groups:
+                break
+            found: set[str] = set()
+            for index, group in groups.items():
+                ok, batch = self._try(index, lambda c, g=group: c.read_many(g))
+                if not ok:
+                    continue
+                for key, payload in batch.items():
+                    if payload is not None:
+                        results[key] = payload
+                        found.add(key)
+            remaining = [k for k in unresolved if k not in found]
+            if remaining == unresolved:
+                break  # no progress: every miss is a real miss
+            unresolved = remaining
+        return results
+
+    def put_many(self, entries: dict[str, dict[str, Any]]) -> list[str]:
+        # With replication an entry belongs to several shards' batches.
+        per_endpoint: dict[int, dict[str, dict[str, Any]]] = {}
+        dropped = 0
+        for key, payload in entries.items():
+            live = self._live_owners(key)
+            if not live:
+                dropped += 1
+                continue
+            for index in live:
+                per_endpoint.setdefault(index, {})[key] = payload
+        if dropped:
+            self._count("dropped_writes", dropped)
+        evicted: list[str] = []
+        seen: set[str] = set()
+        for index, batch in per_endpoint.items():
+            ok, keys = self._try(index, lambda c, b=batch: c.put_many(b))
+            if not ok:
+                continue
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    evicted.append(key)
+        return evicted
+
+    def evict(self, policy: EvictionPolicy | None = None) -> list[str]:
+        evicted: list[str] = []
+        seen: set[str] = set()
+        for index in self._live_endpoints():
+            ok, keys = self._try(index, lambda c: c.evict(policy))
+            if not ok:
+                continue
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    evicted.append(key)
+        return evicted
+
+    def clear(self) -> int:
+        removed = 0
+        for index in self._live_endpoints():
+            ok, count = self._try(index, lambda c: c.clear())
+            if ok:
+                removed += int(count)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -126,8 +126,10 @@ register(
     "MAS_CACHE_URI",
     None,
     "Default result-store URI for every runner and `cache` subcommand: "
-    "`dir:/path`, `sqlite:///path.db` or `http://host:8787`, optionally with "
-    "`?max_entries=/?max_bytes=` eviction caps. Explicit `--cache` flags win.",
+    "`dir:/path`, `sqlite:///path.db`, `http://host:8787` or "
+    "`shard:http://a:8787,http://b:8787`, optionally with "
+    "`?max_entries=/?max_bytes=/?ttl=` eviction caps (and `?replicas=` on "
+    "shard fleets). Explicit `--cache` flags win.",
 )
 register(
     "MAS_CACHE_DIR",
@@ -218,6 +220,12 @@ register(
     "already loses to the incumbent (skipping their simulation). Off by "
     "default: search results are bit-identical to the serial path only when "
     "disabled.",
+)
+register(
+    "MAS_BENCH_LOCK_THREADS",
+    "4",
+    "Concurrent client threads in the service lock-contention benchmark "
+    "(`benchmarks/bench_parallel_runner.py::test_service_lock_concurrency`).",
 )
 register(
     "MAS_BENCH_SEARCH_BUDGET",

@@ -35,13 +35,17 @@ def checks_of(result):
 def test_bad_locks_fixture_caught():
     result = run_lint(FIXTURES / "bad_locks.py")
     findings = [f for f in result.sorted() if f.check == "lock-discipline"]
-    assert len(findings) == 4
+    assert len(findings) == 6
     messages = "\n".join(f.message for f in findings)
     assert "read of lock-guarded attribute self._counts" in messages
     assert "write to lock-guarded attribute self._counts" in messages
     assert "write to lock-guarded attribute self.total" in messages
     assert "under-lock helper self._drain_locked()" in messages
-    assert checks_of(result) == ["lock-discipline"] * 4
+    # the keyed-lock idiom (scope contexts from a KeyedLocks pool) is
+    # understood the same way: accesses outside .key()/.store() are races
+    assert "read of lock-guarded attribute self._versions" in messages
+    assert "write to lock-guarded attribute self._versions" in messages
+    assert checks_of(result) == ["lock-discipline"] * 6
 
 
 def test_bad_determinism_fixture_caught():

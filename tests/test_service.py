@@ -21,8 +21,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import pytest
 
 from repro.cli import build_parser
-from repro.service import running_server, server_url
-from repro.service.server import DEFAULT_PORT
+from repro.service import KeyedLocks, ServiceMetrics, running_server, server_url
+from repro.service.server import API_PREFIX, DEFAULT_PORT, PROMETHEUS_CONTENT_TYPE
 from repro.store import (
     EvictionPolicy,
     HttpStore,
@@ -336,6 +336,48 @@ class TestEtagConcurrency:
         _, after = client.read_with_etag("k")
         assert before != after
 
+    def test_412_response_carries_current_etag(self, server, client):
+        """The conflict response names the winning version both as an ETag
+        header and in the body, so losers can retry without a refetch."""
+        stale = client.write("k", payload_for("k", 1))
+        client.write("k", payload_for("k", 2))
+        _, current = client.read_with_etag("k")
+        status, body, etag = raw_request(
+            server,
+            "PUT",
+            f"{API_PREFIX}/entry/k",
+            body=payload_for("k", 3),
+            headers={"If-Match": stale},
+        )
+        assert status == 412
+        assert etag == current
+        assert body["etag"] == current
+
+    def test_conflict_recovery_uses_surfaced_etag_without_refetch(
+        self, server, client
+    ):
+        stale = client.write("k", payload_for("k", 1))
+        client.write("k", payload_for("k", 2))
+
+        def get_requests() -> int:
+            requests = server.service.metrics.snapshot()["requests"]
+            return sum(
+                stats["count"]
+                for label, stats in requests.items()
+                if label.startswith("GET ")
+            )
+
+        gets_before = get_requests()
+        with pytest.raises(StoreConflictError) as excinfo:
+            client.write("k", payload_for("k", 3), if_match=stale)
+        current = excinfo.value.current_etag
+        assert current is not None
+        # one retry with the surfaced etag wins — no GET round trip needed
+        fresh = client.write("k", payload_for("k", 3), if_match=current)
+        assert fresh != current
+        assert get_requests() == gets_before
+        assert client.get("k")["meta"]["budget"] == 3
+
     def test_concurrent_clients_never_lose_fresh_entries(self, server):
         """Four clients hammer puts under a shared cap: the cap holds and
         every client's most recent entry survives the crossfire."""
@@ -398,6 +440,217 @@ class TestMetrics:
         with pytest.raises(StoreConflictError):
             client.delete("k", if_match=etag)
         assert client.metrics()["conflicts"] == 1
+
+    def test_record_lookup_rejects_unknown_status(self):
+        """A new lookup status must be wired into the metrics explicitly —
+        silently folding it into `misses` once skewed every hit-rate chart."""
+        metrics = ServiceMetrics()
+        for status in ("hit", "upgraded", "stale", "miss"):
+            metrics.record_lookup(status)
+        snapshot = metrics.snapshot()
+        assert snapshot["hits"] == snapshot["misses"] == 1
+        with pytest.raises(ValueError, match="unknown lookup status"):
+            metrics.record_lookup("hot")
+        assert metrics.snapshot()["misses"] == 1  # nothing was miscounted
+
+    def test_bytes_stored_counts_payload_not_request_envelope(self, server):
+        """`POST /put` accounting must reflect what the store keeps (the
+        compact payload), not however many bytes the request body happened
+        to occupy on the wire."""
+        payload = payload_for("padded")
+        body = json.dumps({"key": "padded", "payload": payload}, indent=8)
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("POST", f"{API_PREFIX}/put", body=body.encode())
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
+        stored = server.service.metrics.snapshot()["bytes_stored"]
+        compact = len(json.dumps(payload, separators=(",", ":")).encode())
+        assert stored == compact
+        assert len(body) > compact  # the padded envelope would have lied
+
+    def test_batch_put_bytes_stored_sums_payloads(self, server, client):
+        entries = {f"b{i}": payload_for(f"b{i}", i) for i in range(3)}
+        client.put_many(entries)
+        stored = server.service.metrics.snapshot()["bytes_stored"]
+        compact = sum(
+            len(json.dumps(p, separators=(",", ":")).encode())
+            for p in entries.values()
+        )
+        assert stored == compact
+
+    def test_prometheus_exposition_is_content_negotiated(self, server, client):
+        client.put("k", payload_for("k"))
+        client.lookup("k")
+        client.lookup("nope")
+
+        status, body, _ = raw_request(server, "GET", "/metrics")
+        assert status == 200 and isinstance(body, dict)  # default stays JSON
+
+        host, port = server.server_address[:2]
+        for path, headers in (
+            ("/metrics", {"Accept": "text/plain"}),
+            ("/metrics?format=prometheus", {}),
+        ):
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+                text = response.read().decode()
+                assert response.status == 200
+                assert response.getheader("Content-Type") == PROMETHEUS_CONTENT_TYPE
+            finally:
+                conn.close()
+            assert "# TYPE mas_store_hits_total counter" in text
+            assert "mas_store_hits_total 1" in text
+            assert "mas_store_misses_total 1" in text
+            assert "mas_store_uptime_seconds" in text
+            assert 'mas_store_requests_total{endpoint="POST /lookup"} 2' in text
+
+
+# ---------------------------------------------------------------------- #
+# Striped per-key locking
+# ---------------------------------------------------------------------- #
+def _locked_in_thread(acquire, timeout: float = 2.0) -> bool:
+    """True when ``acquire`` (a contextmanager factory) succeeds in a fresh
+    thread within ``timeout`` — i.e. the lock is currently obtainable."""
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def worker():
+        with acquire():
+            acquired.set()
+            release.wait(timeout)
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    ok = acquired.wait(timeout)
+    release.set()
+    thread.join(timeout)
+    return ok
+
+
+class TestKeyedLocks:
+    def test_width_validation_and_pickle(self):
+        import pickle
+
+        assert KeyedLocks(8).stripe_count == 8
+        with pytest.raises(ValueError):
+            KeyedLocks(0)
+        # locks cannot cross process boundaries; a clone arrives fresh
+        assert pickle.loads(pickle.dumps(KeyedLocks(8))).stripe_count == 8
+
+    def test_distinct_stripes_do_not_block_each_other(self):
+        import zlib
+
+        locks = KeyedLocks(64)
+        stripe_of = lambda k: zlib.crc32(k.encode()) % 64
+        other = next(str(i) for i in range(100) if stripe_of(str(i)) != stripe_of("a"))
+        entered, release = threading.Event(), threading.Event()
+
+        def holder():
+            with locks.key("a"):
+                entered.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert entered.wait(2)
+        try:
+            # a different stripe is immediately obtainable...
+            assert _locked_in_thread(lambda: locks.key(other))
+            # ...while the held key's stripe and the store gate are not
+            assert not _locked_in_thread(lambda: locks.key("a"), timeout=0.3)
+            assert not _locked_in_thread(locks.store, timeout=0.3)
+        finally:
+            release.set()
+            thread.join(5)
+        assert _locked_in_thread(lambda: locks.key("a"))
+        assert _locked_in_thread(locks.store)
+
+    def test_store_gate_excludes_every_key(self):
+        locks = KeyedLocks(64)
+        entered, release = threading.Event(), threading.Event()
+
+        def holder():
+            with locks.store():
+                entered.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert entered.wait(2)
+        try:
+            assert not _locked_in_thread(lambda: locks.key("a"), timeout=0.3)
+            assert not _locked_in_thread(lambda: locks.keys(["a", "b"]), timeout=0.3)
+        finally:
+            release.set()
+            thread.join(5)
+        assert _locked_in_thread(lambda: locks.key("a"))
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once an exclusive caller waits, fresh shared
+        entries queue behind it — a steady read stream cannot starve evict."""
+        locks = KeyedLocks(64)
+        entered, release = threading.Event(), threading.Event()
+
+        def reader():
+            with locks.key("a"):
+                entered.set()
+                release.wait(5)
+
+        holder = threading.Thread(target=reader, daemon=True)
+        holder.start()
+        assert entered.wait(2)
+
+        writer_done = threading.Event()
+
+        def writer():
+            with locks.store():
+                writer_done.set()
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        deadline = 2.0
+        while locks._exclusive_waiting == 0 and deadline > 0:
+            time_step = 0.01
+            deadline -= time_step
+            threading.Event().wait(time_step)
+        assert locks._exclusive_waiting == 1
+
+        # a brand-new reader on a *different* key must now queue too
+        assert not _locked_in_thread(lambda: locks.key("b"), timeout=0.3)
+        release.set()
+        holder.join(5)
+        assert writer_done.wait(2)
+        writer_thread.join(5)
+        assert _locked_in_thread(lambda: locks.key("b"))
+
+    def test_overlapping_batches_never_deadlock(self):
+        locks = KeyedLocks(4)  # few stripes: batches always collide
+        rounds = 200
+        errors: list[BaseException] = []
+
+        def spin(keys):
+            try:
+                for _ in range(rounds):
+                    with locks.keys(keys):
+                        pass
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=spin, args=(order,), daemon=True)
+            for order in (["a", "b", "c"], ["c", "b", "a"], ["b", "a", "c"])
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert not errors
+        assert all(not thread.is_alive() for thread in threads)
 
 
 # ---------------------------------------------------------------------- #
