@@ -15,6 +15,10 @@ concurrent client threads against one :class:`~repro.service.StoreService`
 over distinct keys and gates the striped per-key locking's throughput
 against the old single-global-lock behaviour (``stripes=1``).
 
+``test_tracing_overhead`` gates the observability layer itself: the same
+sweep traced (``MAS_TRACE``-equivalent, 64-span buffer) versus untraced
+must stay within 5% wall time with bit-identical results.
+
 Scale knobs: ``MAS_BENCH_BUDGET`` (search budget), ``MAS_BENCH_NETWORKS``
 (network subset; defaults to three Table-1 networks here so the four sweeps
 stay quick), ``MAS_BENCH_JOBS`` (worker processes for the parallel sweep),
@@ -33,6 +37,9 @@ from typing import Any
 
 from repro.exec import ExperimentRunner, MethodRun, ParallelRunner
 from repro.hardware.presets import simulated_edge_device
+from repro.obs import trace as obs_trace
+from repro.obs.export import read_trace
+from repro.obs.schema import validate_trace_file
 from repro.schedulers.registry import ALL_SCHEDULERS, make_scheduler
 from repro.search.autotuner import AutoTuner, TuningResult
 from repro.search.objective import SchedulerObjective
@@ -142,6 +149,80 @@ def test_parallel_runner_and_result_cache(benchmark, tmp_path_factory):
 
     # The warm sweep skips every search; it must beat the cold sweep clearly.
     assert t_warm < t_cold
+
+
+#: Tolerances for the tracing-overhead gate: 5% relative plus an absolute
+#: noise floor so sub-second sweeps on a loaded CI box cannot flake the gate.
+TRACE_OVERHEAD_RATIO = 1.05
+TRACE_NOISE_FLOOR_S = 0.5
+
+
+def test_tracing_overhead(benchmark, tmp_path_factory):
+    """Span tracing must cost <=5% sweep wall time and change no results.
+
+    The same serial sweep runs untraced and traced (``MAS_TRACE``-equivalent,
+    via :func:`repro.obs.trace.configure` with a 64-span buffer — the
+    recommended tight-loop setting).  Each mode runs twice and keeps its best
+    time so one scheduler hiccup cannot decide the gate; the traced sweep
+    must stay within ``TRACE_OVERHEAD_RATIO`` of the untraced one (plus an
+    absolute noise floor) and produce a bit-identical matrix plus a
+    schema-valid trace covering the runner and search layers.
+    """
+    kwargs = dict(search_budget=SEARCH_BUDGET, seed=0)
+    networks = BENCH_NETWORKS[:1]  # one network keeps the four sweeps quick
+    trace_path = tmp_path_factory.mktemp("trace") / "overhead.jsonl"
+
+    def sweep(traced: bool) -> tuple[float, dict]:
+        if traced:
+            obs_trace.configure(trace_path, buffer_spans=64)
+        try:
+            start = time.perf_counter()
+            matrix = ExperimentRunner(**kwargs).run_matrix(networks)
+            return time.perf_counter() - start, matrix
+        finally:
+            obs_trace.reset()
+
+    # Interleave the modes so slow drift (thermal, co-tenants) hits both.
+    times = {False: [], True: []}
+    matrices = {}
+    for _ in range(2):
+        for traced in (False, True):
+            elapsed, matrices[traced] = sweep(traced)
+            times[traced].append(elapsed)
+    t_plain, t_traced = min(times[False]), min(times[True])
+
+    assert _fingerprint(matrices[True]) == _fingerprint(matrices[False])
+    assert validate_trace_file(trace_path) == []
+    layers = {span["layer"] for span in read_trace(trace_path)}
+    assert {"runner", "search"} <= layers
+
+    overhead = t_traced / max(t_plain, 1e-9)
+    result = benchmark.pedantic(lambda: sweep(False)[1], rounds=1, iterations=1)
+    assert _fingerprint(result) == _fingerprint(matrices[False])
+
+    record = {
+        "benchmark": "tracing-overhead",
+        "budget": SEARCH_BUDGET,
+        "networks": networks,
+        "buffer_spans": 64,
+        "untraced_s": round(t_plain, 3),
+        "traced_s": round(t_traced, 3),
+        "overhead_ratio": round(overhead, 4),
+        "gate_ratio": TRACE_OVERHEAD_RATIO,
+        "noise_floor_s": TRACE_NOISE_FLOOR_S,
+    }
+    _merge_bench_record("tracing_overhead", record)
+
+    print()
+    print(f"matrix: {len(networks)} network x 6 methods, budget {SEARCH_BUDGET}")
+    print(f"untraced          : {t_plain:8.2f} s")
+    print(f"traced (buffer=64): {t_traced:8.2f} s  ({(overhead - 1) * 100:+.1f}%)")
+    benchmark.extra_info.update(record)
+
+    assert t_traced <= t_plain * TRACE_OVERHEAD_RATIO + TRACE_NOISE_FLOOR_S, (
+        f"traced sweep {t_traced:.2f}s exceeds {TRACE_OVERHEAD_RATIO:.0%} of "
+        f"untraced {t_plain:.2f}s (+{TRACE_NOISE_FLOOR_S}s floor)"
+    )
 
 
 def test_result_store_backends(benchmark, tmp_path_factory):

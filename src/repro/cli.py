@@ -29,11 +29,16 @@ Examples
    $ mas-attention table2 --cache http://cachehost:8787      # sweep against it
    $ mas-attention suites --suites-file my_suites.json       # user suites
    $ mas-attention table2 --suite gqa                        # GQA/MQA shapes
+   $ MAS_TRACE=trace.jsonl mas-attention table2 --jobs 4     # traced sweep
+   $ mas-attention obs summarize trace.jsonl                 # where time went
+   $ mas-attention obs convert trace.jsonl                   # -> Perfetto JSON
+   $ mas-attention obs metrics http://cachehost:8787         # service latency
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -159,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="print each (method, network) run to stderr as it completes, "
             "before the final table",
         )
+        p.add_argument(
+            "--verbose",
+            action="store_true",
+            help="report store health-probe details (service version, uptime, "
+            "pid) on stderr before the sweep",
+        )
 
     sub.add_parser("networks", help="print the Table-1 network registry")
 
@@ -279,6 +290,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "obs",
+        help="observability toolchain: span traces ($MAS_TRACE) and service metrics",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    op = obs_sub.add_parser(
+        "summarize",
+        help="per-layer time breakdown, critical path and slowest spans of a trace",
+    )
+    op.add_argument("trace", help="span-trace JSONL file (written under $MAS_TRACE)")
+    op.add_argument("--top", type=int, default=5, help="slowest spans to show")
+
+    op = obs_sub.add_parser(
+        "convert",
+        help="convert a JSONL span trace to Chrome trace-event JSON "
+        "(loadable in chrome://tracing or ui.perfetto.dev)",
+    )
+    op.add_argument("trace", help="span-trace JSONL file")
+    op.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+
+    op = obs_sub.add_parser(
+        "validate",
+        help="schema- and reference-check every span of a trace file",
+    )
+    op.add_argument("trace", help="span-trace JSONL file")
+
+    op = obs_sub.add_parser(
+        "metrics",
+        help="fetch and render a running store service's /metrics document",
+    )
+    op.add_argument(
+        "uri",
+        help="service URI: http://host:8787 or shard:http://a:8787,http://b:8787",
+    )
+    op.add_argument(
+        "--raw", action="store_true", help="print the raw JSON document instead"
+    )
+
+    p = sub.add_parser(
         "lint",
         help="run mas-lint, the project-invariant static analysis "
         "(see docs/dev_tooling.md)",
@@ -340,6 +395,7 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
         search_workers=args.search_workers,
         search_backend=args.search_backend,
         suite=_suite_spec(args),
+        verbose=args.verbose,
     )
 
 
@@ -470,6 +526,106 @@ def _run_cache_store_command(args: argparse.Namespace, store) -> int:
     )
 
 
+def _run_obs_command(args: argparse.Namespace) -> int:
+    """The ``mas-attention obs`` group: summarize / convert / validate / metrics."""
+    from repro.obs.export import read_trace, write_chrome
+    from repro.obs.schema import validate_trace_file
+    from repro.obs.summary import summarize_trace
+
+    if args.obs_command == "summarize":
+        spans = read_trace(args.trace)
+        if not spans:
+            raise SystemExit(f"{args.trace}: trace file contains no spans")
+        print(f"trace {args.trace}")
+        print(summarize_trace(spans, top=max(args.top, 1)).format(top=args.top))
+        return 0
+
+    if args.obs_command == "convert":
+        spans = read_trace(args.trace)
+        output = args.output
+        if output is None:
+            stem = args.trace[: -len(".jsonl")] if args.trace.endswith(".jsonl") else args.trace
+            output = f"{stem}.chrome.json"
+        write_chrome(spans, output)
+        print(f"wrote {len(spans)} spans to {output}")
+        return 0
+
+    if args.obs_command == "validate":
+        errors = validate_trace_file(args.trace)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"{args.trace}: {len(errors)} problem(s)", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: {len(read_trace(args.trace))} spans, all valid")
+        return 0
+
+    if args.obs_command == "metrics":
+        store = open_store(args.uri)
+        if not isinstance(store, (HttpStore, ShardedStore)):
+            if store is not None:
+                store.close()
+            raise SystemExit(
+                f"obs metrics needs a served store (http://host:port or "
+                f"shard:...), got {args.uri!r}"
+            )
+        try:
+            document = store.metrics()
+        finally:
+            store.close()
+        if args.raw:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        elif isinstance(store, ShardedStore):
+            print(json.dumps(document.get("fleet", {}), indent=2, sort_keys=True))
+            for url, shard_doc in sorted(document.get("shards", {}).items()):
+                if "error" in shard_doc:
+                    print(f"\n{url}: unreachable ({shard_doc['error']})")
+                else:
+                    print()
+                    _print_service_metrics(url, shard_doc)
+        else:
+            _print_service_metrics(store.uri(), document)
+        return 0
+
+    raise AssertionError(  # pragma: no cover - argparse enforces the choices
+        f"unhandled obs command {args.obs_command!r}"
+    )
+
+
+def _print_service_metrics(title: str, document: dict) -> None:
+    """Render one service's JSON ``/metrics`` document as tables."""
+    counters = {
+        name: value
+        for name, value in sorted(document.items())
+        if isinstance(value, int) and name != "uptime_s"
+    }
+    counter_text = "  ".join(f"{name}={value}" for name, value in counters.items())
+    print(f"{title}  (uptime {document.get('uptime_s', 0.0):.0f}s)")
+    if counter_text:
+        print(f"  {counter_text}")
+    requests = document.get("requests") or {}
+    if requests:
+        print(
+            format_table(
+                ["Endpoint", "Count", "Errors", "Mean ms", "p50 ms", "p95 ms", "p99 ms", "Max ms"],
+                [
+                    [
+                        endpoint,
+                        stats.get("count", 0),
+                        stats.get("errors", 0),
+                        stats.get("mean_ms", 0.0),
+                        stats.get("p50_ms", 0.0),
+                        stats.get("p95_ms", 0.0),
+                        stats.get("p99_ms", 0.0),
+                        stats.get("max_ms", 0.0),
+                    ]
+                    for endpoint, stats in sorted(requests.items())
+                ],
+                title="request latency by endpoint",
+            )
+        )
+
+
 def _run_serve_command(args: argparse.Namespace) -> int:
     """The ``mas-attention serve`` command: front a local store over HTTP."""
     from repro.service import serve_store
@@ -509,6 +665,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve_command(args)
+
+    if args.command == "obs":
+        return _run_obs_command(args)
 
     if args.command == "lint":
         from repro.devtools import lint as devtools_lint

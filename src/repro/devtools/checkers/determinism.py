@@ -13,11 +13,12 @@ that:
 * **wall-clock reads** — ``time.time()``, ``time.perf_counter()``,
   ``datetime.now()`` etc. leak the host's clock into results.
 
-Modules whose *job* is timing are allowlisted by path: the service metrics
-(``repro/service/server.py``), the retry/backoff helper
-(``repro/store/retry.py``) and the benchmark harness.  Anything else —
-including test code — needs an inline tag with a reason (the SQLite store's
-LRU ``last_used`` stamps are the canonical tagged example).
+Modules whose *job* is timing are allowlisted by path: the observability
+layer (``repro/obs/`` — span timestamps and latency metrics *are* the
+product), the service metrics (``repro/service/server.py``), the
+retry/backoff helper (``repro/store/retry.py``) and the benchmark harness.
+Anything else — including test code — needs an inline tag with a reason (the
+SQLite store's LRU ``last_used`` stamps are the canonical tagged example).
 """
 
 from __future__ import annotations
@@ -62,6 +63,7 @@ class DeterminismChecker(Checker):
     )
     skip_substrings = (
         "repro/utils/rng.py",  # the one sanctioned RNG constructor site
+        "repro/obs/",  # span timestamps and latency histograms are the product
         "repro/service/server.py",  # request latency metrics, uptime
         "repro/store/retry.py",  # backoff sleeps between attempts
         "benchmarks/",  # timing is the product here

@@ -33,6 +33,8 @@ from typing import Any
 
 from repro.core.tiling import TilingConfig
 from repro.hardware.config import HardwareConfig
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import global_registry
 from repro.search.autotuner import TuningResult
 from repro.search.history import SearchHistory, SearchRecord
 from repro.search.objective import TilingEvaluation, analytic_prune_enabled
@@ -239,19 +241,28 @@ class ResultCache:
         """
         if self.backend is None:
             return None
-        payload, status = self.backend.lookup(key)
-        if status == "stale":
-            self.stale += 1
-            return None
-        if payload is None:
-            self.misses += 1
-            return None
-        try:
-            result = tuning_result_from_dict(payload["tuning"])
-        except (KeyError, TypeError, ValueError):  # corrupt tuning blob
-            self.misses += 1
-            return None
-        self.hits += 1
+        result: TuningResult | None = None
+        with obs_trace.span(
+            "store.lookup", layer="store", backend=self.backend.backend
+        ) as span:
+            payload, status = self.backend.lookup(key)
+            if status == "stale":
+                self.stale += 1
+                outcome = "stale"
+            elif payload is None:
+                self.misses += 1
+                outcome = "miss"
+            else:
+                try:
+                    result = tuning_result_from_dict(payload["tuning"])
+                except (KeyError, TypeError, ValueError):  # corrupt tuning blob
+                    self.misses += 1
+                    outcome = "corrupt"
+                else:
+                    self.hits += 1
+                    outcome = "hit"
+            span.set(status=outcome)
+        self._lookup_counter().labels(status=outcome).inc()
         return result
 
     def store(self, key: str, result: TuningResult, suite: str | None = None) -> Any:
@@ -265,7 +276,21 @@ class ResultCache:
         if self.backend is None:
             return None
         payload = make_payload(key, tuning_result_to_dict(result), suite=suite)
-        return self.backend.put(key, payload)
+        with obs_trace.span("store.put", layer="store", backend=self.backend.backend):
+            token = self.backend.put(key, payload)
+        global_registry().counter(
+            "cache_puts", "Tuning results written to the persistent cache."
+        ).inc()
+        return token
+
+    @staticmethod
+    def _lookup_counter():
+        """Per-process lookup counter, fetched at use time (fork safety)."""
+        return global_registry().counter(
+            "cache_lookups",
+            "Persistent-cache lookups, by outcome.",
+            labels=("status",),
+        )
 
     def stats(self) -> dict[str, int]:
         """This process's lookup counters (hits / misses / stale)."""

@@ -26,10 +26,13 @@ from dataclasses import dataclass
 
 from repro.exec.cache import ResultCache, tuning_cache_key
 from repro.hardware.config import HardwareConfig
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceContext
 from repro.schedulers.registry import make_scheduler
 from repro.search.autotuner import AutoTuner, TuningResult, default_strategy
 from repro.search.objective import Metric, analytic_prune_enabled
 from repro.sim.trace import SimulationResult
+from repro.store.retry import retry_totals
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.networks import get_network
 
@@ -66,9 +69,10 @@ class MethodRun:
     #: Whether the tuning came from the persistent result cache (no search ran).
     cached: bool = False
     #: The executing process's cache counters for this pair
-    #: (``{"hits", "misses", "stale"}``).  Pool workers create their own
-    #: :class:`~repro.exec.cache.ResultCache`, so without this the parent
-    #: runner could not account for lookups performed on its behalf —
+    #: (``{"hits", "misses", "stale", "retry_attempts", "retry_giveups"}``).
+    #: Pool workers create their own :class:`~repro.exec.cache.ResultCache`,
+    #: so without this the parent runner could not account for lookups (or
+    #: store retries) performed on its behalf —
     #: :meth:`~repro.exec.runner.ExperimentRunner.cache_stats` aggregates it.
     #: ``None`` when no cache lookup happened (untuned/unsearchable pairs).
     store_stats: dict[str, int] | None = None
@@ -118,10 +122,34 @@ class PairSpec:
     #: the Table-1 registry (the historical behaviour, and still what bare
     #: network names mean outside any suite).
     workload: AttentionWorkload | None = None
+    #: The submitting sweep's span context (see :mod:`repro.obs.trace`), so a
+    #: pool worker's "pair" span parents onto the runner's "sweep" span across
+    #: the process boundary.  Pure telemetry: never part of the cache key,
+    #: never consulted by the search.
+    trace: TraceContext | None = None
 
 
 def execute_pair(spec: PairSpec) -> MethodRun:
-    """Tune (cache-aware, if enabled) and simulate one (method, entry) pair."""
+    """Tune (cache-aware, if enabled) and simulate one (method, entry) pair.
+
+    The whole pair runs inside a "pair" span parented on ``spec.trace`` (the
+    sweep's span, possibly from another process); the span buffer is flushed
+    before returning so pool workers never hold spans hostage.
+    """
+    with obs_trace.span(
+        "pair",
+        layer="runner",
+        parent=spec.trace,
+        method=spec.method,
+        network=spec.network,
+    ) as span:
+        run = _execute_pair_traced(spec)
+        span.set(cached=run.cached)
+    obs_trace.flush()
+    return run
+
+
+def _execute_pair_traced(spec: PairSpec) -> MethodRun:
     if spec.workload is not None:
         workload = spec.workload
         entry_name = spec.network or workload.name
@@ -139,6 +167,7 @@ def execute_pair(spec: PairSpec) -> MethodRun:
         # scheduler.name, not spec.method: the registry lookup is
         # case-insensitive, and the seed must not depend on the spelling.
         seed = pair_seed(spec.seed, scheduler.name, entry_name)
+        retry_before = retry_totals()
         cache = ResultCache(spec.cache_uri, enabled=spec.use_cache)
         # Bound pruning changes what a stored tuning means (the search saw
         # bound values, not simulations, for pruned candidates), so pruned
@@ -172,6 +201,9 @@ def execute_pair(spec: PairSpec) -> MethodRun:
                 cached = True
             if cache.enabled:
                 store_stats = cache.stats()
+                retry_after = retry_totals()
+                for name in ("retry_attempts", "retry_giveups"):
+                    store_stats[name] = retry_after[name] - retry_before[name]
         finally:
             # Always release the backend before returning: a lingering SQLite
             # connection in this process is a hazard for any later fork().

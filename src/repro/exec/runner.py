@@ -25,12 +25,14 @@ form.  On top of that this module adds:
 from __future__ import annotations
 
 import http.client
+import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
 from repro.exec.pairs import MethodRun, PairSpec, execute_pair
+from repro.obs import trace as obs_trace
 from repro.hardware.config import HardwareConfig
 from repro.hardware.presets import simulated_edge_device
 from repro.schedulers.registry import get_scheduler, list_schedulers
@@ -114,6 +116,10 @@ class ExperimentRunner:
         (``"table1-batched"``, ``"table1@batch=8"``,
         ``"long-context@seq<=8192"``, ...) or ``None`` for the Table-1 default
         — which is exactly the historical behaviour, entry for entry.
+    verbose:
+        When true, the eager store health probe reports what it learned
+        (service version, uptime, pid — or the reachable shard count of a
+        fleet) on stderr instead of discarding the payload.
     """
 
     hardware: HardwareConfig = field(default_factory=simulated_edge_device)
@@ -128,6 +134,7 @@ class ExperimentRunner:
     search_workers: int | None = None
     search_backend: str | None = None
     suite: str | WorkloadSuite | None = None
+    verbose: bool = False
     _runs: dict[tuple[str, str], MethodRun] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -154,7 +161,7 @@ class ExperimentRunner:
                     # fleet still serves (failover covers the rest).
                     if isinstance(probe, (HttpStore, ShardedStore)):
                         try:
-                            probe.ping()
+                            self._report_ping(probe.ping())
                         # Everything a failed health probe can surface: the
                         # transient classifier's re-raises after exhausted
                         # retries (5xx, connection errors, a non-HTTP
@@ -176,6 +183,24 @@ class ExperimentRunner:
                 finally:
                     probe.close()
         self._workload_suite = get_suite(self.suite if self.suite is not None else "table1")
+
+    def _report_ping(self, payload: dict) -> None:
+        """Summarize the eager health probe on stderr (``verbose`` only)."""
+        if not self.verbose:
+            return
+        if "reachable" in payload:  # sharded fleet: per-endpoint docs nested
+            line = (
+                f"store fleet reachable: {payload['reachable']}/"
+                f"{len(payload.get('shards', {}))} endpoints "
+                f"(replicas={payload.get('replicas')})"
+            )
+        else:
+            line = (
+                f"store service up: version={payload.get('version', '?')} "
+                f"uptime={payload.get('uptime_seconds', '?')}s "
+                f"pid={payload.get('pid', '?')}"
+            )
+        print(f"[mas-attention] {line}", file=sys.stderr)
 
     @property
     def workload_suite(self) -> WorkloadSuite:
@@ -249,6 +274,9 @@ class ExperimentRunner:
             search_workers=self.search_workers,
             search_backend=self.search_backend,
             workload=entry.workload,
+            # Ambient sweep span (if tracing is on), so pair spans parent
+            # onto the sweep even from pool-worker processes.
+            trace=obs_trace.current_context(),
         )
 
     def run(self, method: str, network: str) -> MethodRun:
@@ -276,12 +304,35 @@ class ExperimentRunner:
         The serial runner computes pairs in suite order (Table-1 order for
         the default suite), so completion order and table order coincide and
         ``stream`` makes no difference here; :class:`ParallelRunner`
-        overrides this with true ``as_completed`` streaming (and
-        ``stream=False`` as the in-order fallback).
+        overrides the :meth:`_iter_runs` hook with true ``as_completed``
+        streaming (and ``stream=False`` as the in-order fallback).
+
+        The whole sweep runs inside one "sweep" span (a no-op unless
+        ``$MAS_TRACE`` is set); every pair span — local or in a pool
+        worker — parents onto it via :attr:`PairSpec.trace`.
         """
+        network_names = self.networks(networks)
+        method_names = self.methods(methods)
+        with obs_trace.span(
+            "sweep",
+            layer="runner",
+            suite=self.suite_name,
+            jobs=getattr(self, "jobs", 1),
+            pairs=len(network_names) * len(method_names),
+        ):
+            yield from self._iter_runs(network_names, method_names, stream)
+        obs_trace.flush()
+
+    def _iter_runs(
+        self,
+        networks: list[str],
+        methods: list[str],
+        stream: bool,
+    ) -> Iterator[MethodRun]:
+        """Execution hook of :meth:`iter_matrix` (already inside the span)."""
         del stream  # serial completion order *is* suite order
-        for network in self.networks(networks):
-            for method in self.methods(methods):
+        for network in networks:
+            for method in methods:
                 yield self.run(method, network)
 
     def run_matrix(
@@ -318,7 +369,9 @@ class ExperimentRunner:
         (:attr:`MethodRun.store_stats`) — pool workers of a
         :class:`ParallelRunner` open their own cache, so summing the parent's
         own counters (which are always zero there) would undercount every
-        parallel sweep.
+        parallel sweep.  ``retry_attempts`` / ``retry_giveups`` aggregate the
+        same way: transient store failures backed off and retried (or
+        abandoned) by whichever process executed the pair.
 
         ``search_simulated`` / ``search_infeasible`` / ``search_pruned``
         break ``search_evaluations`` down by how the analytic pre-pass
@@ -341,6 +394,8 @@ class ExperimentRunner:
             "cache_hits": sum(1 for r in runs if r.cached),
             "cache_misses": store_totals["misses"],
             "cache_stale": store_totals["stale"],
+            "retry_attempts": store_totals.get("retry_attempts", 0),
+            "retry_giveups": store_totals.get("retry_giveups", 0),
             "searches": len(searched),
             "search_evaluations": sum(
                 r.tuning.objective_evaluations
@@ -372,11 +427,11 @@ class ParallelRunner(ExperimentRunner):
         super().__post_init__()
         check_positive_int(self.jobs, "jobs")
 
-    def iter_matrix(
+    def _iter_runs(
         self,
-        networks: list[str] | None = None,
-        methods: list[str] | None = None,
-        stream: bool = True,
+        networks: list[str],
+        methods: list[str],
+        stream: bool,
     ) -> Iterator[MethodRun]:
         """Yield completed runs while the pool is still working on the rest.
 
@@ -385,12 +440,10 @@ class ParallelRunner(ExperimentRunner):
         the pairs still *execute* in parallel but are yielded in suite
         order, each one as soon as it and all its predecessors are done.
         """
-        network_names = self.networks(networks)
-        method_names = self.methods(methods)
-        order = [(method, network) for network in network_names for method in method_names]
+        order = [(method, network) for network in networks for method in methods]
         pending = [pair for pair in order if pair not in self._runs]
         if self.jobs <= 1 or len(pending) <= 1:
-            yield from super().iter_matrix(network_names, method_names, stream=stream)
+            yield from super()._iter_runs(networks, methods, stream)
             return
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
         try:

@@ -1,0 +1,54 @@
+"""Unified observability layer: span tracing, metrics, exporters.
+
+Three pieces, one import point:
+
+* :mod:`repro.obs.trace` — cross-process/cross-wire span tracing of the
+  sweep → pair → search-generation → store-op → HTTP-request path,
+  enabled by ``MAS_TRACE=<path>`` (JSONL output);
+* :mod:`repro.obs.metrics` — counters, gauges and latency histograms with
+  p50/p95/p99, shared by the store service, the shard fleet, the retry
+  layer and the result cache;
+* :mod:`repro.obs.prom` / :mod:`repro.obs.export` — Prometheus text
+  exposition and Chrome trace-event conversion.
+
+``mas-attention obs summarize|convert|metrics|validate`` is the CLI
+surface; ``docs/observability.md`` is the guide.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    MetricFamily,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    TraceContext,
+    Tracer,
+    attach_context,
+    configure,
+    current_context,
+    flush,
+    get_tracer,
+    reset,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_HEADER",
+    "TraceContext",
+    "Tracer",
+    "attach_context",
+    "configure",
+    "current_context",
+    "flush",
+    "get_tracer",
+    "global_registry",
+    "reset",
+    "span",
+]

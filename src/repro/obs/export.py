@@ -1,0 +1,86 @@
+"""Trace-file readers and the Chrome trace-event exporter.
+
+The tracer's native output is JSONL (one span object per line; see
+:mod:`repro.obs.trace`).  :func:`chrome_trace` converts a list of spans to
+the Chrome trace-event JSON format — complete ``"X"`` duration events in
+microseconds plus ``"M"`` process-name metadata — which loads directly in
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.  Trace,
+span and parent IDs ride along in each event's ``args`` so the span tree
+survives the conversion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["chrome_trace", "read_trace", "write_chrome"]
+
+
+def read_trace(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into span records, preserving file order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` naming
+    its line number (truncation from a crashed writer should be loud).
+    """
+    spans: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{os.fspath(path)}:{lineno}: malformed trace line: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{os.fspath(path)}:{lineno}: trace line is not a JSON object")
+            spans.append(record)
+    return spans
+
+
+def chrome_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Spans as a Chrome trace-event document (``traceEvents`` array).
+
+    Timestamps are rebased to the earliest span so the viewer opens at
+    t=0 instead of the Unix epoch; durations stay in microseconds.
+    """
+    events: list[dict[str, Any]] = []
+    base_ts = min((int(s.get("ts_us", 0)) for s in spans), default=0)
+    for pid in sorted({int(s.get("pid", 0)) for s in spans}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "args": {"name": f"mas-attention pid {pid}"},
+            }
+        )
+    for span in spans:
+        args = {
+            "trace_id": span.get("trace_id"),
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        args.update(span.get("attrs") or {})
+        events.append(
+            {
+                "ph": "X",
+                "name": str(span.get("name", "?")),
+                "cat": str(span.get("layer", "app")),
+                "ts": int(span.get("ts_us", 0)) - base_ts,
+                "dur": int(span.get("dur_us", 0)),
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("tid", 0)),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: list[dict[str, Any]], path: str | os.PathLike[str]) -> None:
+    """Write :func:`chrome_trace` output to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1)
+        handle.write("\n")

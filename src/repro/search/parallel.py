@@ -32,6 +32,8 @@ import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceContext
 from repro.utils import env
 from repro.utils.validation import require
 
@@ -87,10 +89,14 @@ def _init_worker(
     workload: "AttentionWorkload",
     metric: str,
     allow_overflow: bool,
+    trace_context: "TraceContext | None" = None,
 ) -> None:
     global _WORKER_OBJECTIVE
     from repro.search.objective import SchedulerObjective
 
+    # Ambient parent for any span this worker process opens, so evaluation
+    # spans nest under the submitting search's span across the fork.
+    obs_trace.attach_context(trace_context)
     _WORKER_OBJECTIVE = SchedulerObjective(
         scheduler, workload, metric=metric, allow_overflow=allow_overflow, workers=1
     )
@@ -135,6 +141,10 @@ class ParallelEvaluator:  # mas-lint: disable=fork-safety(stays in the parent; o
                         objective.workload,
                         objective.metric,
                         objective.allow_overflow,
+                        # Context captured at pool creation: the enclosing
+                        # pair/search span, so worker spans keep their parent
+                        # across the process boundary.
+                        obs_trace.current_context(),
                     ),
                 )
             else:
@@ -150,17 +160,28 @@ class ParallelEvaluator:  # mas-lint: disable=fork-safety(stays in the parent; o
 
         Futures are collected in submission order (never ``as_completed``),
         which is what makes batched search runs bit-identical to serial ones.
+
+        Each batch is one "search.generation" span (no-op unless tracing is
+        on) — a GA generation, an MCTS rollout round, a grid slab.
         """
-        if self.workers == 1 or len(tilings) <= 1:
-            return [self.objective.evaluate_uncached(tiling) for tiling in tilings]
-        pool = self._ensure_pool()
-        if self.backend == "process":
-            futures = [pool.submit(_evaluate_in_worker, tiling) for tiling in tilings]
-        else:
-            futures = [
-                pool.submit(self.objective.evaluate_uncached, tiling) for tiling in tilings
-            ]
-        return [future.result() for future in futures]
+        with obs_trace.span(
+            "search.generation",
+            layer="search",
+            batch=len(tilings),
+            workers=self.workers,
+            backend=self.backend,
+        ):
+            if self.workers == 1 or len(tilings) <= 1:
+                return [self.objective.evaluate_uncached(tiling) for tiling in tilings]
+            pool = self._ensure_pool()
+            if self.backend == "process":
+                futures = [pool.submit(_evaluate_in_worker, tiling) for tiling in tilings]
+            else:
+                futures = [
+                    pool.submit(self.objective.evaluate_uncached, tiling)
+                    for tiling in tilings
+                ]
+            return [future.result() for future in futures]
 
     def close(self) -> None:
         """Shut the pool down (idempotent; a later batch re-creates it)."""

@@ -34,6 +34,7 @@ hosts per service — and many services behind a
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
@@ -44,6 +45,10 @@ from typing import Any, Iterator
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro import __version__
+from repro.obs import prom
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import TraceContext
 from repro.service.locks import DEFAULT_STRIPES, KeyedLocks
 from repro.store.base import ResultStore
 from repro.store.eviction import EvictionPolicy, parse_duration, parse_size
@@ -80,9 +85,13 @@ class _Conflict(Exception):
 class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server process only; never pickled to workers)
     """Store-level counters plus per-endpoint latency, served at ``/metrics``.
 
-    Everything is monotonic since server start and protected by its own lock
-    so the request threads of a :class:`~http.server.ThreadingHTTPServer`
-    can record concurrently.
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry`: the counters
+    are unlabelled counter families, per-endpoint traffic is a labelled
+    counter pair, and latency is a labelled **histogram** family — so the
+    JSON document and the Prometheus exposition report p50/p95/p99 per
+    endpoint, not just mean/max.  Everything is monotonic since server
+    start and safe for the request threads of a
+    :class:`~http.server.ThreadingHTTPServer` to record concurrently.
     """
 
     #: Counter names, fixed so ``/metrics`` output is stable for dashboards.
@@ -108,15 +117,38 @@ class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server proce
     }
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters = {name: 0 for name in self.COUNTERS}
-        self._endpoints: dict[str, dict[str, float]] = {}
+        self.registry = MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                name, f"Total {name.replace('_', ' ')} since server start."
+            )
+            for name in self.COUNTERS
+        }
+        self._uptime = self.registry.gauge(
+            "uptime_seconds", "Seconds since server start."
+        )
+        self._requests = self.registry.counter(
+            "requests", "Requests served, by endpoint.", labels=("endpoint",)
+        )
+        self._errors = self.registry.counter(
+            "request_errors", "5xx responses, by endpoint.", labels=("endpoint",)
+        )
+        self._latency = self.registry.histogram(
+            "request_ms",
+            "Request latency, by endpoint.",
+            labels=("endpoint",),
+            prom_name="request_seconds",
+            prom_scale=1e-3,
+        )
         self._started = time.time()
 
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self._started
+
     def count(self, **increments: int) -> None:
-        with self._lock:
-            for name, amount in increments.items():
-                self._counters[name] += amount
+        for name, amount in increments.items():
+            self._counters[name].inc(amount)
 
     def record_lookup(self, status: str) -> None:
         """Tally one schema-aware lookup outcome (hit/upgraded/stale/miss).
@@ -135,77 +167,55 @@ class ServiceMetrics:  # mas-lint: disable=fork-safety(lives in the server proce
 
     def observe(self, endpoint: str, elapsed_ms: float, error: bool = False) -> None:
         """Record one served request against its endpoint label."""
-        with self._lock:
-            stats = self._endpoints.setdefault(
-                endpoint, {"count": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0}
-            )
-            stats["count"] += 1
-            stats["errors"] += bool(error)
-            stats["total_ms"] += elapsed_ms
-            stats["max_ms"] = max(stats["max_ms"], elapsed_ms)
+        self._requests.labels(endpoint=endpoint).inc()
+        errors = self._errors.labels(endpoint=endpoint)  # minted even at 0
+        if error:
+            errors.inc()
+        self._latency.labels(endpoint=endpoint).observe(elapsed_ms)
 
     def snapshot(self) -> dict[str, Any]:
-        """The ``/metrics`` document: counters + per-endpoint latency."""
-        with self._lock:
-            requests = {
-                endpoint: {
-                    "count": int(stats["count"]),
-                    "errors": int(stats["errors"]),
-                    "total_ms": round(stats["total_ms"], 3),
-                    "mean_ms": round(stats["total_ms"] / max(stats["count"], 1), 3),
-                    "max_ms": round(stats["max_ms"], 3),
-                }
-                for endpoint, stats in sorted(self._endpoints.items())
-            }
-            return {
-                **self._counters,
-                "uptime_s": round(time.time() - self._started, 3),
-                "requests": requests,
-            }
+        """The JSON ``/metrics`` document: counters + per-endpoint latency.
 
-    @staticmethod
-    def _label(value: str) -> str:
-        """One Prometheus label value, quoted and escaped."""
-        escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-        return f'"{escaped}"'
+        Each endpoint reports exact count/errors/total/mean/max plus the
+        histogram's estimated p50/p95/p99, and ``process`` carries the
+        server process's ambient registry (retry counters and friends).
+        """
+        requests: dict[str, dict[str, Any]] = {}
+        for (endpoint,), hist in self._latency.samples():
+            stats = hist.snapshot()
+            requests[endpoint] = {
+                "count": stats["count"],
+                "errors": int(self._errors.labels(endpoint=endpoint).value),
+                "total_ms": round(stats["sum"], 3),
+                "mean_ms": round(stats["mean"], 3),
+                "max_ms": round(stats["max"], 3),
+                "p50_ms": round(stats["p50"], 3),
+                "p95_ms": round(stats["p95"], 3),
+                "p99_ms": round(stats["p99"], 3),
+            }
+        document: dict[str, Any] = {
+            name: int(family.value) for name, family in self._counters.items()
+        }
+        document["uptime_s"] = round(self.uptime_seconds, 3)
+        document["requests"] = requests
+        document["process"] = global_registry().snapshot()
+        return document
 
     def render_prometheus(self) -> str:
-        """The counters in Prometheus text exposition format (``/metrics``
+        """The same numbers in Prometheus text exposition format (``/metrics``
         with ``Accept: text/plain`` or ``?format=prometheus``).
 
-        Same numbers as :meth:`snapshot`, renamed to Prometheus conventions:
-        ``mas_store_<counter>_total``, ``mas_store_uptime_seconds``, and
-        per-endpoint ``mas_store_request*`` series labelled by endpoint.
+        Rendered through :mod:`repro.obs.prom` under the ``mas_store``
+        namespace: ``mas_store_<counter>_total``, ``mas_store_uptime_seconds``,
+        per-endpoint ``mas_store_requests_total`` / ``mas_store_request_errors_total``
+        and the ``mas_store_request_seconds`` histogram (buckets + sum +
+        count + exact max).  The process-ambient registry follows under the
+        ``mas`` namespace.
         """
-        with self._lock:
-            counters = dict(self._counters)
-            endpoints = [(e, dict(s)) for e, s in sorted(self._endpoints.items())]
-            uptime = time.time() - self._started
-        lines: list[str] = []
-        for name, value in counters.items():
-            metric = f"mas_store_{name}_total"
-            lines.append(f"# HELP {metric} Total {name.replace('_', ' ')} since server start.")
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {value}")
-        lines.append("# HELP mas_store_uptime_seconds Seconds since server start.")
-        lines.append("# TYPE mas_store_uptime_seconds gauge")
-        lines.append(f"mas_store_uptime_seconds {uptime:.3f}")
-        series = (
-            ("mas_store_requests_total", "counter", "Requests served", "count", 1.0),
-            ("mas_store_request_errors_total", "counter", "5xx responses", "errors", 1.0),
-            ("mas_store_request_seconds_total", "counter", "Time spent serving", "total_ms", 1e-3),
-            ("mas_store_request_seconds_max", "gauge", "Slowest request", "max_ms", 1e-3),
+        self._uptime.set(self.uptime_seconds)
+        return prom.render_registry(self.registry, "mas_store") + prom.render_registry(
+            global_registry(), "mas"
         )
-        for metric, kind, help_text, field, scale in series:
-            if not endpoints:
-                break
-            lines.append(f"# HELP {metric} {help_text}, by endpoint.")
-            lines.append(f"# TYPE {metric} {kind}")
-            for endpoint, stats in endpoints:
-                value = stats[field] * scale
-                rendered = str(int(value)) if scale == 1.0 else f"{value:.6f}"
-                lines.append(f"{metric}{{endpoint={self._label(endpoint)}}} {rendered}")
-        return "\n".join(lines) + "\n"
 
 
 class StoreService:  # mas-lint: disable=fork-safety(server-side singleton; clients cross processes via HTTP, not pickle)
@@ -447,6 +457,16 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     _SERVING_LABELS = frozenset({"GET /entry", "POST /lookup", "POST /batch/get"})
 
     def _dispatch(self, method: str) -> None:
+        # Adopt the client's trace context (X-MAS-Trace, sent by HttpStore)
+        # as this request span's parent, so one trace crosses the wire; no
+        # header (or tracing off) means no span and zero overhead.
+        parent = TraceContext.from_header(self.headers.get(obs_trace.TRACE_HEADER))
+        with obs_trace.span(
+            "service.request", layer="service", parent=parent, method=method
+        ) as span:
+            self._dispatch_traced(method, span)
+
+    def _dispatch_traced(self, method: str, span: Any) -> None:
         started = time.perf_counter()
         parts = urlsplit(self.path)
         # Unmatched paths share one fixed label: per-path labels would let a
@@ -496,6 +516,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         finally:
             elapsed_ms = (time.perf_counter() - started) * 1e3
             self.service.metrics.observe(label, elapsed_ms, error=status >= 500)
+            span.set(endpoint=label, status=status)
 
     def _route(self, method: str, path: str):
         """Resolve ``(handler, args, metrics_label)`` for one request path."""
@@ -559,6 +580,8 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             "version": __version__,
             "backend": store.backend,
             "store": store.uri(),
+            "uptime_seconds": round(self.service.metrics.uptime_seconds, 3),
+            "pid": os.getpid(),
         }, {}
 
     def _handle_metrics(self, query: dict) -> tuple[int, Any, dict]:

@@ -35,6 +35,7 @@ import json
 from typing import Any
 from urllib.parse import quote, urlencode, urlsplit
 
+from repro.obs import trace as obs_trace
 from repro.store.base import EntryInfo, ResultStore, StoreStats
 from repro.store.eviction import EvictionPolicy
 from repro.store.retry import RetryPolicy, call_with_retry
@@ -181,12 +182,18 @@ class HttpStore(ResultStore):
             payload = json.loads(raw) if raw else None
             return response.status, payload, response.getheader("ETag")
 
-        if conditional:
-            status, payload, etag = send()
-        else:
-            status, payload, etag = call_with_retry(
-                send, policy=self.retry, should_retry=_is_transient
-            )
+        with obs_trace.span("http.request", layer="http", method=method, path=path) as sp:
+            if sp.context is not None:
+                # Propagate this request span across the wire: the service
+                # parents its own span on it, so one trace spans both sides.
+                send_headers[obs_trace.TRACE_HEADER] = sp.context.to_header()
+            if conditional:
+                status, payload, etag = send()
+            else:
+                status, payload, etag = call_with_retry(
+                    send, policy=self.retry, should_retry=_is_transient
+                )
+            sp.set(status=status)
         if status == 412:
             raise StoreConflictError(
                 (payload or {}).get("error", f"{method} {path}: entry version moved"),

@@ -9,6 +9,13 @@ wrap their fallible calls in :func:`call_with_retry` with a backend-specific
 ``should_retry`` classifier, so the backoff schedule, the attempt accounting
 and the "re-raise the last error" semantics live — and are tested — exactly
 once.
+
+Every backoff and every exhausted retry is also counted, per exception
+class, in the process-global metrics registry (``retry_attempts`` /
+``retry_giveups``): pairs fold the per-process deltas into their
+``store_stats`` so sweeps surface them in ``cache_stats``, and the store
+service exposes them on ``/metrics``.  :func:`retry_totals` is the cheap
+summary used for those deltas.
 """
 
 from __future__ import annotations
@@ -17,7 +24,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-__all__ = ["RetryPolicy", "call_with_retry"]
+from repro.obs.metrics import MetricFamily, global_registry
+
+__all__ = ["RetryPolicy", "call_with_retry", "retry_counters", "retry_totals"]
 
 T = TypeVar("T")
 
@@ -52,6 +61,42 @@ class RetryPolicy:
         return min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
 
 
+def retry_counters() -> tuple[MetricFamily, MetricFamily]:
+    """The ``(retry_attempts, retry_giveups)`` counter families, labelled by
+    exception class name.
+
+    Fetched from :func:`~repro.obs.metrics.global_registry` at call time —
+    never cached at import — so forked sweep workers count into their own
+    per-process registry.
+    """
+    registry = global_registry()
+    return (
+        registry.counter(
+            "retry_attempts",
+            "Transient store failures that triggered a backoff-and-retry.",
+            labels=("error",),
+        ),
+        registry.counter(
+            "retry_giveups",
+            "Store operations abandoned after exhausting their retry budget.",
+            labels=("error",),
+        ),
+    )
+
+
+def retry_totals() -> dict[str, int]:
+    """This process's retry counters summed across error classes.
+
+    ``{"retry_attempts": n, "retry_giveups": m}`` — the shape pairs embed in
+    ``store_stats`` and :meth:`ExperimentRunner.cache_stats` aggregates.
+    """
+    attempts, giveups = retry_counters()
+    return {
+        "retry_attempts": int(sum(child.value for _, child in attempts.samples())),
+        "retry_giveups": int(sum(child.value for _, child in giveups.samples())),
+    }
+
+
 def call_with_retry(
     fn: Callable[[], T],
     policy: RetryPolicy | None = None,
@@ -74,7 +119,10 @@ def call_with_retry(
         except Exception as exc:
             if should_retry is not None and not should_retry(exc):
                 raise
+            attempts, giveups = retry_counters()
             if attempt == policy.attempts:
+                giveups.labels(error=type(exc).__name__).inc()
                 raise
+            attempts.labels(error=type(exc).__name__).inc()
             sleep(policy.delay(attempt))
     raise AssertionError("unreachable")  # pragma: no cover

@@ -48,12 +48,22 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Callable, Iterable
 
+from repro.obs.metrics import MetricsRegistry
 from repro.store.base import EntryInfo, ResultStore, StoreStats
 from repro.store.eviction import EvictionPolicy
 from repro.store.http import HttpStore, TransientServiceError
 from repro.store.retry import RetryPolicy
 
 __all__ = ["ShardedStore"]
+
+#: Fleet-layer counters (name -> help), registered per store instance.
+_FLEET_COUNTERS = (
+    ("failovers", "Endpoints marked down after a transport failure."),
+    ("degraded_misses", "Lookups degraded to a miss because every owner was dark."),
+    ("dropped_writes", "Writes dropped because no owner was reachable."),
+    ("read_repairs", "Replica hits copied back to a recovered primary."),
+    ("hedged_lookups", "Hot-key lookups raced across two owners."),
+)
 
 #: Virtual nodes per endpoint on the hash ring — enough that key load stays
 #: within a few percent of uniform for small fleets.
@@ -122,19 +132,21 @@ class ShardedStore(ResultStore):
         self._ring_positions = [position for position, _ in self._ring]
         self._health_lock = threading.Lock()
         self._down_until: dict[int, float] = {}
-        self._fleet_counters = {
-            "failovers": 0,
-            "degraded_misses": 0,
-            "dropped_writes": 0,
-            "read_repairs": 0,
-            "hedged_lookups": 0,
-        }
+        self._init_fleet_metrics()
         self._hot_counts: dict[str, int] = {}
         # Hedge lanes, built lazily on the first hot key: per endpoint, one
         # single-worker executor + one dedicated client, so hedged requests
         # never share a keep-alive connection with the calling thread.
         self._hedge_pools: dict[int, ThreadPoolExecutor] = {}
         self._hedge_clients: dict[int, HttpStore] = {}
+
+    def _init_fleet_metrics(self) -> None:
+        """Fresh shard-layer counters in a per-instance metrics registry."""
+        self._fleet_registry = MetricsRegistry()
+        self._fleet_counters = {
+            name: self._fleet_registry.counter(name, help_text)
+            for name, help_text in _FLEET_COUNTERS
+        }
 
     # ------------------------------------------------------------------ #
     # Ring + health plumbing
@@ -168,11 +180,12 @@ class ShardedStore(ResultStore):
         with self._health_lock:
             # mas-lint: disable=determinism(failover cooldown bookkeeping; never part of a result payload)
             self._down_until[index] = time.monotonic() + self.cooldown
-            self._fleet_counters["failovers"] += 1
+        self._count("failovers")
 
     def _count(self, name: str, amount: int = 1) -> None:
-        with self._health_lock:
-            self._fleet_counters[name] += amount
+        # Counter families carry their own lock; _health_lock stays scoped
+        # to the down-endpoint table.
+        self._fleet_counters[name].inc(amount)
 
     def _try(self, index: int, op: Callable[[HttpStore], Any]) -> tuple[bool, Any]:
         """Run ``op`` against one endpoint; transport failure marks it down.
@@ -226,11 +239,15 @@ class ShardedStore(ResultStore):
         state["_hot_counts"] = {}
         state["_hedge_pools"] = {}
         state["_hedge_clients"] = {}
+        # Fleet counters (and their registry lock) are per-process telemetry.
+        state["_fleet_registry"] = None
+        state["_fleet_counters"] = {}
         return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._health_lock = threading.Lock()
+        self._init_fleet_metrics()
 
     def ping(self) -> dict[str, Any]:
         """Fleet health: per-endpoint ``/healthz`` results.
@@ -263,15 +280,26 @@ class ShardedStore(ResultStore):
     def fleet_stats(self) -> dict[str, Any]:
         """Shard-layer counters + current endpoint health (for tests/CLI)."""
         with self._health_lock:
-            counters = dict(self._fleet_counters)
             down = set(self._down_until)
         return {
-            **counters,
+            **{name: int(family.value) for name, family in self._fleet_counters.items()},
             "endpoints": {
                 url: ("down" if i in down else "up")
                 for i, url in enumerate(self.endpoints)
             },
         }
+
+    def metrics(self) -> dict[str, Any]:
+        """Fleet view for ``mas-attention obs metrics``: per-endpoint
+        ``/metrics`` documents plus this client's shard-layer counters."""
+        shards: dict[str, Any] = {}
+        for index, url in enumerate(self.endpoints):
+            try:
+                shards[url] = self._clients[index].metrics()
+            except _FAILOVER_ERRORS as exc:
+                self._mark_down(index)
+                shards[url] = {"error": str(exc)}
+        return {"fleet": self.fleet_stats(), "shards": shards}
 
     # ------------------------------------------------------------------ #
     # Backend primitives: owner walk with failover

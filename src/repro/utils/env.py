@@ -155,6 +155,21 @@ register(
     "Evaluation pool backend for the intra-pair search: `thread` or `process`.",
 )
 register(
+    "MAS_TRACE",
+    None,
+    "Span-trace output path (JSONL, appended). When set, every sweep, "
+    "search generation, store operation and HTTP request records a span; "
+    "`mas-attention obs summarize|convert|validate` consume the file. "
+    "Unset (the default) disables tracing entirely.",
+)
+register(
+    "MAS_TRACE_BUFFER",
+    "1",
+    "Spans buffered per process before the trace file is flushed. The "
+    "default 1 flushes every span (crash-safe); larger values batch "
+    "writes for very hot traces.",
+)
+register(
     "MAS_TEST_SUITE",
     None,
     "Replaces the test suite's sweep-suite matrix with one suite spec "

@@ -1,0 +1,19 @@
+"""Seeded fixture: clock reads *outside* ``repro/obs/`` must still be caught.
+
+The determinism checker allowlists the observability layer by path
+(``repro/obs/`` skip substring) because span timestamps are its product.
+This file lives outside that path and reads the clock the same way the
+tracer does — the allowlist must not leak onto it.  The companion test also
+copies this file *under* a ``repro/obs/`` directory and asserts the findings
+disappear, proving the allowlist is scoped by path, not by code shape.
+"""
+
+import time
+
+
+def span_like_timestamp():
+    return time.time()  # wall-clock read, obs-style but not in repro/obs/
+
+
+def span_like_duration(start):
+    return time.perf_counter() - start  # second clock read

@@ -59,6 +59,29 @@ def test_bad_determinism_fixture_caught():
     assert "np.random.rand()" in messages
 
 
+def test_bad_determinism_obs_adjacent_fixture_caught():
+    """Clock reads outside ``repro/obs/`` stay flagged despite the allowlist."""
+    result = run_lint(FIXTURES / "bad_determinism_obs_adjacent.py")
+    assert checks_of(result) == ["determinism"] * 2
+    messages = "\n".join(f.message for f in result.findings)
+    assert "time.time()" in messages
+    assert "time.perf_counter()" in messages
+
+
+def test_determinism_obs_allowlist_is_path_scoped(tmp_path):
+    """The same file copied under a ``repro/obs/`` directory lints clean —
+    the allowlist is a path match, not a judgement about the code itself."""
+    fixture = FIXTURES / "bad_determinism_obs_adjacent.py"
+    obs_dir = tmp_path / "repro" / "obs"
+    obs_dir.mkdir(parents=True)
+    clone = obs_dir / "clocks.py"
+    clone.write_text(fixture.read_text())
+    result = run_lint(clone)
+    assert not [f for f in result.findings if f.check == "determinism"], (
+        result.format_human()
+    )
+
+
 def test_bad_forksafety_fixture_caught():
     result = run_lint(FIXTURES / "bad_forksafety.py")
     assert checks_of(result) == ["fork-safety"] * 2

@@ -107,6 +107,10 @@ class TestEndpoints:
         assert payload["ok"] is True
         assert payload["backend"] == "sqlite"
         assert payload["store"].startswith("sqlite:")
+        # operational identity: version, age and pid of the serving process
+        assert payload["version"]
+        assert payload["uptime_seconds"] >= 0
+        assert payload["pid"] > 0
 
     def test_unknown_endpoint_is_404_with_json_error(self, server):
         status, payload, _ = raw_request(server, "GET", "/api/v1/nonsense")
@@ -432,6 +436,9 @@ class TestMetrics:
         assert lookups["count"] == 3
         assert lookups["errors"] == 0
         assert lookups["max_ms"] >= lookups["mean_ms"] > 0
+        # latency quantiles from the fixed-bucket histogram, ordered
+        assert 0 < lookups["p50_ms"] <= lookups["p95_ms"] <= lookups["p99_ms"]
+        assert lookups["p99_ms"] <= lookups["max_ms"]
         assert metrics["uptime_s"] >= 0
 
     def test_conflicts_are_counted(self, server, client):
@@ -508,6 +515,13 @@ class TestMetrics:
             assert "mas_store_misses_total 1" in text
             assert "mas_store_uptime_seconds" in text
             assert 'mas_store_requests_total{endpoint="POST /lookup"} 2' in text
+            # latency histogram, ms observations rendered in seconds
+            assert "# TYPE mas_store_request_seconds histogram" in text
+            assert (
+                'mas_store_request_seconds_bucket{endpoint="POST /lookup",le="+Inf"} 2'
+                in text
+            )
+            assert 'mas_store_request_seconds_count{endpoint="POST /lookup"} 2' in text
 
 
 # ---------------------------------------------------------------------- #
