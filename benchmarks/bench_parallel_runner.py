@@ -200,6 +200,13 @@ def test_tracing_overhead(benchmark, tmp_path_factory):
     result = benchmark.pedantic(lambda: sweep(False)[1], rounds=1, iterations=1)
     assert _fingerprint(result) == _fingerprint(matrices[False])
 
+    # The gate the assert below actually applies is relative ratio PLUS the
+    # absolute noise floor; record all of it explicitly so the stored JSON
+    # is self-explanatory (overhead_ratio may exceed gate_ratio and still
+    # pass — the floor absorbs the difference on short sweeps).
+    gate_s = t_plain * TRACE_OVERHEAD_RATIO + TRACE_NOISE_FLOOR_S
+    effective_gate_ratio = gate_s / max(t_plain, 1e-9)
+    passed = t_traced <= gate_s
     record = {
         "benchmark": "tracing-overhead",
         "budget": SEARCH_BUDGET,
@@ -210,6 +217,9 @@ def test_tracing_overhead(benchmark, tmp_path_factory):
         "overhead_ratio": round(overhead, 4),
         "gate_ratio": TRACE_OVERHEAD_RATIO,
         "noise_floor_s": TRACE_NOISE_FLOOR_S,
+        "gate_s": round(gate_s, 3),
+        "effective_gate_ratio": round(effective_gate_ratio, 4),
+        "passed": passed,
     }
     _merge_bench_record("tracing_overhead", record)
 
@@ -217,11 +227,16 @@ def test_tracing_overhead(benchmark, tmp_path_factory):
     print(f"matrix: {len(networks)} network x 6 methods, budget {SEARCH_BUDGET}")
     print(f"untraced          : {t_plain:8.2f} s")
     print(f"traced (buffer=64): {t_traced:8.2f} s  ({(overhead - 1) * 100:+.1f}%)")
+    print(
+        f"gate              : {gate_s:8.2f} s  (x{TRACE_OVERHEAD_RATIO} + "
+        f"{TRACE_NOISE_FLOOR_S}s floor = x{effective_gate_ratio:.3f} effective)"
+    )
     benchmark.extra_info.update(record)
 
-    assert t_traced <= t_plain * TRACE_OVERHEAD_RATIO + TRACE_NOISE_FLOOR_S, (
-        f"traced sweep {t_traced:.2f}s exceeds {TRACE_OVERHEAD_RATIO:.0%} of "
-        f"untraced {t_plain:.2f}s (+{TRACE_NOISE_FLOOR_S}s floor)"
+    assert passed, (
+        f"traced sweep {t_traced:.2f}s exceeds the gate {gate_s:.2f}s "
+        f"({TRACE_OVERHEAD_RATIO:.0%} of untraced {t_plain:.2f}s "
+        f"+ {TRACE_NOISE_FLOOR_S}s floor)"
     )
 
 

@@ -40,6 +40,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import Sequence
 
 from repro import __version__, quick_compare
@@ -332,6 +334,104 @@ def build_parser() -> argparse.ArgumentParser:
     op.add_argument(
         "--raw", action="store_true", help="print the raw JSON document instead"
     )
+    op.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-fetch and re-render every SECONDS until interrupted "
+        "(terminal-only live polling without the dashboard)",
+    )
+
+    op = obs_sub.add_parser(
+        "serve",
+        help="live observability dashboard: scrape a store fleet's /metrics, "
+        "tail the $MAS_TRACE span file, stream both over HTTP/SSE",
+    )
+    op.add_argument(
+        "target",
+        help="what to scrape: shard:http://a:8787,http://b:8787, a single "
+        "http://host:port, or a comma-separated endpoint list",
+    )
+    op.add_argument(
+        "--trace",
+        default=None,
+        help="span-trace JSONL file to tail (default: $MAS_TRACE)",
+    )
+    op.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="perf-trajectory history file served at /api/obs/bench",
+    )
+    op.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="scrape interval in seconds (default: $MAS_OBS_INTERVAL)",
+    )
+    op.add_argument("--host", default="127.0.0.1", help="bind address")
+    op.add_argument(
+        "--port", type=int, default=8790, help="TCP port (0 picks a free one)"
+    )
+    op.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    op = obs_sub.add_parser(
+        "profile",
+        help="aggregate the pstats files persisted by MAS_PROFILE into one "
+        "hotspot report",
+    )
+    op.add_argument("trace", help="span-trace JSONL file (written under $MAS_TRACE)")
+    op.add_argument("--top", type=int, default=20, help="functions/spans to show")
+    op.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort order for the aggregate table",
+    )
+
+    op = obs_sub.add_parser(
+        "bench",
+        help="perf trajectory: record benchmark snapshots into a history "
+        "file and gate on regressions against the rolling baseline",
+    )
+    bench_sub = op.add_subparsers(dest="bench_command", required=True)
+    for bench_name, bench_help in (
+        ("record", "append every named record of a BENCH json to the history"),
+        ("compare", "diff the newest run against the rolling baseline"),
+        ("check", "like compare, but exit 1 when any gated metric regressed"),
+    ):
+        bp = bench_sub.add_parser(bench_name, help=bench_help)
+        bp.add_argument(
+            "--history",
+            default="BENCH_history.jsonl",
+            help="history file (one JSON line per benchmark per run)",
+        )
+        if bench_name == "record":
+            bp.add_argument(
+                "--bench",
+                default="BENCH_search.json",
+                help="benchmark snapshot file to record",
+            )
+            bp.add_argument(
+                "--run-id",
+                default=None,
+                help="run label (default: UTC timestamp)",
+            )
+            bp.add_argument("--note", default=None, help="free-form annotation")
+        else:
+            bp.add_argument(
+                "--window",
+                type=int,
+                default=5,
+                help="prior runs averaged into the rolling baseline",
+            )
+            bp.add_argument(
+                "--rules",
+                default=None,
+                help="JSON rules file overriding the built-in regression gates",
+            )
 
     p = sub.add_parser(
         "lint",
@@ -527,7 +627,7 @@ def _run_cache_store_command(args: argparse.Namespace, store) -> int:
 
 
 def _run_obs_command(args: argparse.Namespace) -> int:
-    """The ``mas-attention obs`` group: summarize / convert / validate / metrics."""
+    """The ``mas-attention obs`` group: traces, metrics, dashboard, trajectory."""
     from repro.obs.export import read_trace, write_chrome
     from repro.obs.schema import validate_trace_file
     from repro.obs.summary import summarize_trace
@@ -561,35 +661,104 @@ def _run_obs_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.obs_command == "metrics":
-        store = open_store(args.uri)
-        if not isinstance(store, (HttpStore, ShardedStore)):
-            if store is not None:
+        while True:
+            store = open_store(args.uri)
+            if not isinstance(store, (HttpStore, ShardedStore)):
+                if store is not None:
+                    store.close()
+                raise SystemExit(
+                    f"obs metrics needs a served store (http://host:port or "
+                    f"shard:...), got {args.uri!r}"
+                )
+            try:
+                document = store.metrics()
+            finally:
                 store.close()
-            raise SystemExit(
-                f"obs metrics needs a served store (http://host:port or "
-                f"shard:...), got {args.uri!r}"
-            )
-        try:
-            document = store.metrics()
-        finally:
-            store.close()
-        if args.raw:
-            print(json.dumps(document, indent=2, sort_keys=True))
-        elif isinstance(store, ShardedStore):
-            print(json.dumps(document.get("fleet", {}), indent=2, sort_keys=True))
-            for url, shard_doc in sorted(document.get("shards", {}).items()):
-                if "error" in shard_doc:
-                    print(f"\n{url}: unreachable ({shard_doc['error']})")
-                else:
-                    print()
-                    _print_service_metrics(url, shard_doc)
-        else:
-            _print_service_metrics(store.uri(), document)
+            if args.raw:
+                print(json.dumps(document, indent=2, sort_keys=True))
+            elif isinstance(store, ShardedStore):
+                print(json.dumps(document.get("fleet", {}), indent=2, sort_keys=True))
+                for url, shard_doc in sorted(document.get("shards", {}).items()):
+                    if "error" in shard_doc:
+                        print(f"\n{url}: unreachable ({shard_doc['error']})")
+                    else:
+                        print()
+                        _print_service_metrics(url, shard_doc)
+            else:
+                _print_service_metrics(store.uri(), document)
+            if args.watch is None:
+                return 0
+            try:
+                time.sleep(max(args.watch, 0.1))
+            except KeyboardInterrupt:
+                return 0
+            print(f"\n--- {args.uri} (every {args.watch:g}s, Ctrl-C stops) ---")
+
+    if args.obs_command == "serve":
+        from repro.obs.collect import FleetCollector, endpoints_for
+        from repro.obs.dash import ObsState, serve_dashboard
+        from repro.utils import env as env_registry
+
+        trace_path = args.trace or env_registry.value("MAS_TRACE")
+        collector = FleetCollector(
+            endpoints_for(args.target),
+            interval=args.interval,
+            trace_path=trace_path,
+        )
+        state = ObsState(
+            collector=collector,
+            target=args.target,
+            trace_path=Path(trace_path) if trace_path else None,
+            history_path=Path(args.history) if args.history else None,
+        )
+        return serve_dashboard(
+            state, host=args.host, port=args.port, verbose=args.verbose
+        )
+
+    if args.obs_command == "profile":
+        from repro.obs.profile import format_hotspots
+
+        print(format_hotspots(args.trace, top=max(args.top, 1), sort=args.sort))
         return 0
+
+    if args.obs_command == "bench":
+        return _run_obs_bench(args)
 
     raise AssertionError(  # pragma: no cover - argparse enforces the choices
         f"unhandled obs command {args.obs_command!r}"
     )
+
+
+def _run_obs_bench(args: argparse.Namespace) -> int:
+    """``obs bench record|compare|check``: the perf-trajectory gate."""
+    from repro.obs.bench import (
+        DEFAULT_RULES,
+        compare,
+        load_history,
+        load_rules,
+        record_runs,
+    )
+
+    if args.bench_command == "record":
+        entries = record_runs(
+            args.bench, args.history, run_id=args.run_id, note=args.note
+        )
+        names = ", ".join(entry["name"] for entry in entries)
+        print(
+            f"recorded {len(entries)} benchmark(s) ({names}) as run "
+            f"{entries[0]['run']} in {args.history}"
+        )
+        return 0
+
+    entries = load_history(args.history)
+    if not entries:
+        raise SystemExit(f"{args.history}: no benchmark history recorded yet")
+    rules = load_rules(args.rules) if args.rules else DEFAULT_RULES
+    report = compare(entries, window=max(args.window, 1), rules=rules)
+    print(report.format())
+    if args.bench_command == "check" and not report.ok:
+        return 1
+    return 0
 
 
 def _print_service_metrics(title: str, document: dict) -> None:

@@ -1,0 +1,435 @@
+"""Fleet metrics collector: scrape every store endpoint, merge, tail spans.
+
+PR 8 put a fleet of HTTP store services behind one ``shard:`` URI and PR 9
+taught each of them to expose ``/metrics``; this module is the consumer.  A
+:class:`FleetCollector` periodically scrapes the Prometheus text exposition
+from every endpoint, parses each document back into a
+:class:`~repro.obs.metrics.MetricsRegistry` (:func:`repro.obs.prom.registry_from_text`)
+and folds the per-endpoint registries into one *fleet* registry:
+
+* **counters** sum across endpoints (``MetricFamily.merge``);
+* **histograms** merge bucket-by-bucket, so fleet-wide p50/p95/p99 are
+  computed from real combined bucket counts, not averaged quantiles;
+* **gauges** are last-write-wins values that cannot meaningfully sum, so
+  they are re-registered with a leading ``source`` label carrying the
+  endpoint URL.
+
+Each merge produces a timestamped :class:`FleetSnapshot` kept in a bounded
+ring, and the collector also tails the ``MAS_TRACE`` JSONL file
+incrementally (:class:`TraceTail`) so the dashboard can stream span events
+live.  A scrape failure marks that endpoint unhealthy in the snapshot and
+excludes it from the merge — one dead shard never kills the fleet view.
+
+Values in the fleet registry are in the *exposition* units (seconds for
+latency histograms), because that is what the scraped documents carry.
+
+This module reads wall clocks and sockets freely: it observes runs, it
+never participates in them, and the determinism checker allowlists
+``repro/obs/`` for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import registry_from_text
+from repro.utils import env
+
+__all__ = [
+    "EndpointHealth",
+    "FleetCollector",
+    "FleetSnapshot",
+    "TraceTail",
+    "endpoints_for",
+    "merge_registries",
+]
+
+#: Timeout, in seconds, for one endpoint scrape.
+SCRAPE_TIMEOUT_S = 5.0
+
+#: Per-subscriber buffered event cap; a stalled SSE client drops events
+#: rather than blocking the collector.
+SUBSCRIBER_QUEUE_MAX = 1024
+
+
+def endpoints_for(target: str) -> tuple[str, ...]:
+    """Endpoint URLs named by ``target``, in order, deduplicated.
+
+    ``target`` may be a ``shard:`` URI (query parameters like ``?replicas=``
+    are ignored — the collector observes endpoints, it does not place keys),
+    a single ``http(s)://`` URL, or a comma-separated list of URLs.
+    """
+    spec = target.strip()
+    if spec.lower().startswith("shard:"):
+        spec = spec[len("shard:") :].partition("?")[0]
+    endpoints: list[str] = []
+    for part in spec.split(","):
+        url = part.strip().rstrip("/")
+        if not url:
+            continue
+        scheme = urlsplit(url).scheme.lower()
+        if scheme not in ("http", "https"):
+            raise ValueError(
+                f"observability target endpoint {url!r} is not an http(s) URL "
+                f"(from target {target!r})"
+            )
+        if url not in endpoints:
+            endpoints.append(url)
+    if not endpoints:
+        raise ValueError(f"observability target {target!r} names no endpoints")
+    return tuple(endpoints)
+
+
+def _default_fetch(url: str, timeout: float = SCRAPE_TIMEOUT_S) -> str:
+    """GET ``url`` and return the response body as text."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:  # noqa: S310
+        return response.read().decode("utf-8")
+
+
+def merge_registries(sources: dict[str, MetricsRegistry]) -> MetricsRegistry:
+    """Fold per-endpoint registries into one fleet registry.
+
+    ``sources`` maps endpoint URL -> parsed registry.  Counter and histogram
+    families merge via :meth:`~repro.obs.metrics.MetricFamily.merge`; gauge
+    families are re-registered with a leading ``source`` label so every
+    endpoint's value stays visible side by side.
+    """
+    fleet = MetricsRegistry()
+    for source, registry in sources.items():
+        for family in registry.families():
+            if family.kind == "gauge":
+                target = fleet.gauge(
+                    family.name, family.help, labels=("source",) + family.label_names
+                )
+                for values, child in family.samples():
+                    target._child((source,) + values).set(child.value)
+            elif family.kind == "histogram":
+                target = fleet.histogram(
+                    family.name, family.help,
+                    labels=family.label_names, buckets=family.buckets,
+                )
+                target.merge(family)
+            else:
+                target = fleet.counter(family.name, family.help, labels=family.label_names)
+                target.merge(family)
+    return fleet
+
+
+def counter_totals(registry: MetricsRegistry) -> dict[str, float]:
+    """Per-family counter totals (summed over labels) — the delta basis."""
+    totals: dict[str, float] = {}
+    for family in registry.families():
+        if family.kind != "counter":
+            continue
+        totals[family.name] = sum(child.value for _, child in family.samples())
+    return totals
+
+
+@dataclass(frozen=True)
+class EndpointHealth:
+    """One endpoint's state in a snapshot: reachable, or why not."""
+
+    url: str
+    healthy: bool
+    elapsed_ms: float
+    error: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """One timestamped merged view of the fleet."""
+
+    ts: float
+    seq: int
+    endpoints: tuple[EndpointHealth, ...]
+    registry: MetricsRegistry
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(1 for endpoint in self.endpoints if endpoint.healthy)
+
+    def as_dict(self, include_metrics: bool = True) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "ts": self.ts,
+            "seq": self.seq,
+            "endpoints": [endpoint.as_dict() for endpoint in self.endpoints],
+            "healthy": self.healthy_count,
+            "total": len(self.endpoints),
+        }
+        if include_metrics:
+            doc["metrics"] = self.registry.snapshot()
+        return doc
+
+
+class TraceTail:
+    """Incremental reader of a ``MAS_TRACE`` JSONL file.
+
+    Remembers its byte offset between polls, survives the file not existing
+    yet, resets on truncation (a fresh trace at the same path), and holds
+    back a trailing partial line until the writer finishes it — concurrent
+    sweep workers append whole lines, but a poll can land mid-write.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = b""
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Span events appended since the last poll (possibly empty)."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:  # truncated / replaced: start over
+            self._offset = 0
+            self._partial = b""
+        if size == self._offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+            self._offset = handle.tell()
+        data = self._partial + chunk
+        lines = data.split(b"\n")
+        self._partial = lines.pop()  # b"" when data ended with a newline
+        events: list[dict[str, Any]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn or corrupt line: skip, keep tailing
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+
+class FleetCollector:  # mas-lint: disable=fork-safety(dashboard-process singleton; observes sweeps over HTTP and is never pickled to workers)
+    """Background scraper + trace tail feeding the dashboard.
+
+    The collector owns a bounded ring of :class:`FleetSnapshot` objects and
+    a bounded ring of recent span events, and fans live events out to
+    subscriber queues (one per SSE client).  ``start()`` launches a daemon
+    thread that scrapes every ``interval`` seconds and polls the trace tail
+    several times per interval so spans stream with sub-second latency.
+    """
+
+    def __init__(
+        self,
+        endpoints: tuple[str, ...] | list[str],
+        *,
+        interval: float | None = None,
+        ring: int | None = None,
+        trace_path: str | Path | None = None,
+        fetch: Callable[[str], str] | None = None,
+    ) -> None:
+        if interval is None:
+            interval = float(env.value("MAS_OBS_INTERVAL") or "2")
+        if ring is None:
+            ring = env.int_value("MAS_OBS_RING")
+        if ring < 1:
+            raise ValueError(f"snapshot ring size must be >= 1, got {ring}")
+        self.endpoints = tuple(endpoints)
+        if not self.endpoints:
+            raise ValueError("FleetCollector needs at least one endpoint")
+        self.interval = max(0.05, float(interval))
+        self._fetch = fetch or _default_fetch
+        self._tail = TraceTail(trace_path) if trace_path else None
+        self._lock = threading.RLock()
+        self._snapshots: deque[FleetSnapshot] = deque(maxlen=ring)
+        self._spans: deque[dict[str, Any]] = deque(maxlen=ring)
+        self._span_count = 0
+        self._seq = 0
+        self._subscribers: list[queue.Queue] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Scraping
+    # ------------------------------------------------------------------ #
+    def scrape_once(self) -> FleetSnapshot:
+        """Scrape every endpoint now, merge, ring-append, publish deltas."""
+        sources: dict[str, MetricsRegistry] = {}
+        health: list[EndpointHealth] = []
+        for url in self.endpoints:
+            started = time.perf_counter()
+            try:
+                text = self._fetch(url + "/metrics?format=prometheus")
+                registry = registry_from_text(text)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                health.append(
+                    EndpointHealth(
+                        url=url,
+                        healthy=False,
+                        elapsed_ms=(time.perf_counter() - started) * 1e3,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            sources[url] = registry
+            health.append(
+                EndpointHealth(
+                    url=url,
+                    healthy=True,
+                    elapsed_ms=(time.perf_counter() - started) * 1e3,
+                )
+            )
+        fleet = merge_registries(sources)
+        totals = counter_totals(fleet)
+        with self._lock:
+            previous = self._snapshots[-1].counters if self._snapshots else {}
+            self._seq += 1
+            snapshot = FleetSnapshot(
+                ts=time.time(),
+                seq=self._seq,
+                endpoints=tuple(health),
+                registry=fleet,
+                counters=totals,
+            )
+            self._snapshots.append(snapshot)
+        deltas = {
+            name: value - previous.get(name, 0.0)
+            for name, value in totals.items()
+            if value != previous.get(name, 0.0)
+        }
+        self._publish(
+            "metrics",
+            {
+                "seq": snapshot.seq,
+                "ts": snapshot.ts,
+                "healthy": snapshot.healthy_count,
+                "total": len(snapshot.endpoints),
+                "deltas": deltas,
+            },
+        )
+        return snapshot
+
+    def poll_spans(self) -> list[dict[str, Any]]:
+        """New span events from the trace tail; buffers and publishes them."""
+        if self._tail is None:
+            return []
+        events = self._tail.poll()
+        if events:
+            with self._lock:
+                self._spans.extend(events)
+                self._span_count += len(events)
+            for event in events:
+                self._publish("span", event)
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def latest(self) -> FleetSnapshot | None:
+        with self._lock:
+            return self._snapshots[-1] if self._snapshots else None
+
+    def snapshots(self) -> tuple[FleetSnapshot, ...]:
+        with self._lock:
+            return tuple(self._snapshots)
+
+    def spans(self, limit: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            events = list(self._spans)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    @property
+    def span_count(self) -> int:
+        """Spans tailed over the collector's lifetime (ring may hold fewer)."""
+        with self._lock:
+            return self._span_count
+
+    # ------------------------------------------------------------------ #
+    # Live event fan-out
+    # ------------------------------------------------------------------ #
+    def subscribe(self) -> "queue.Queue[dict[str, Any]]":
+        """A fresh bounded queue receiving ``{"event", "data"}`` dicts."""
+        subscriber: queue.Queue = queue.Queue(maxsize=SUBSCRIBER_QUEUE_MAX)
+        with self._lock:
+            self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: "queue.Queue[dict[str, Any]]") -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def _publish(self, event: str, data: dict[str, Any]) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        payload = {"event": event, "data": data}
+        for subscriber in subscribers:
+            try:
+                subscriber.put_nowait(payload)
+            except queue.Full:
+                pass  # slow client: drop rather than stall the collector
+
+    # ------------------------------------------------------------------ #
+    # Background loop
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mas-obs-collector", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval + SCRAPE_TIMEOUT_S)
+        self._thread = None
+
+    def _run(self) -> None:
+        tick = min(self.interval, 0.25)
+        next_scrape = 0.0  # scrape immediately on start
+        while not self._stop.is_set():
+            now = time.monotonic()
+            if now >= next_scrape:
+                try:
+                    self.scrape_once()
+                except Exception:  # pragma: no cover  # mas-lint: disable=swallowed-exception(per-endpoint failures are already recorded in the snapshot; anything else must not kill the scrape loop — the next tick retries)
+                    pass
+                next_scrape = now + self.interval
+            try:
+                self.poll_spans()
+            except Exception:  # pragma: no cover  # mas-lint: disable=swallowed-exception(a torn trace line must not kill the tail loop; the next tick re-polls from the same offset)
+                pass
+            self._stop.wait(tick)
+
+    def __enter__(self) -> "FleetCollector":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

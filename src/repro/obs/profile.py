@@ -1,0 +1,84 @@
+"""Hotspot reporting over persisted span profiles (``obs profile``).
+
+``MAS_PROFILE`` makes the tracer run matching spans under :mod:`cProfile`
+and persist a ``.pstats`` file per slow span (see
+:func:`repro.obs.trace.profile_config`); each profiled span records the
+file path in its ``attrs["profile"]``.  This module walks a trace file,
+collects those paths, folds every pstats file into one aggregate and
+renders the top functions by cumulative time — "where did the profiled
+spans' CPU go", across all sweep workers at once.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pstats
+from pathlib import Path
+from typing import Any
+
+from repro.obs.export import read_trace
+
+__all__ = ["format_hotspots", "hotspot_stats", "profiled_spans"]
+
+
+def profiled_spans(spans: list[dict[str, Any]]) -> list[tuple[dict[str, Any], str]]:
+    """``(span, pstats_path)`` for every span that persisted a profile."""
+    found = []
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        path = attrs.get("profile")
+        if isinstance(path, str) and path:
+            found.append((span, path))
+    return found
+
+
+def hotspot_stats(paths: list[str]) -> pstats.Stats | None:
+    """All existing pstats files folded into one aggregate (None if none)."""
+    existing = [path for path in paths if os.path.exists(path)]
+    if not existing:
+        return None
+    stats = pstats.Stats(existing[0], stream=io.StringIO())
+    for path in existing[1:]:
+        stats.add(path)
+    return stats
+
+
+def format_hotspots(trace_path: str | Path, top: int = 20,
+                    sort: str = "cumulative") -> str:
+    """The ``obs profile`` report for one trace file."""
+    spans = read_trace(trace_path)
+    profiled = profiled_spans(spans)
+    if not profiled:
+        return (
+            f"no profiled spans in {trace_path} "
+            "(run with MAS_PROFILE=<layer|all> and MAS_TRACE set; only spans "
+            "slower than MAS_PROFILE_MIN_MS persist their stats)"
+        )
+    paths = [path for _, path in profiled]
+    missing = sum(1 for path in paths if not os.path.exists(path))
+    lines = [
+        f"profiled spans: {len(profiled)}  "
+        f"(pstats files: {len(paths) - missing} present, {missing} missing)",
+        "",
+        "slowest profiled spans:",
+    ]
+    for span, path in sorted(
+        profiled, key=lambda item: -int(item[0].get("dur_us", 0))
+    )[:top]:
+        dur_ms = int(span.get("dur_us", 0)) / 1000.0
+        lines.append(
+            f"  {dur_ms:>10.1f} ms  {span.get('name')} [{span.get('layer')}]  {path}"
+        )
+    stats = hotspot_stats(paths)
+    if stats is None:
+        lines.append("")
+        lines.append("(every pstats file is gone; nothing to aggregate)")
+        return "\n".join(lines)
+    buffer = io.StringIO()
+    stats.stream = buffer
+    stats.sort_stats(sort).print_stats(top)
+    lines.append("")
+    lines.append(f"aggregate hotspots (top {top} by {sort}):")
+    lines.append(buffer.getvalue().rstrip())
+    return "\n".join(lines)

@@ -31,17 +31,19 @@ class TraceSummary:
     slowest: list[dict[str, Any]]
 
     def format(self, top: int = 5) -> str:
-        """Human-readable report for the CLI."""
+        """Human-readable report for the CLI; ``top`` caps every section."""
         lines = [
             f"spans: {self.span_count}   traces: {self.trace_count}   "
             f"processes: {self.process_count}   wall: {self.wall_ms:.1f} ms",
             "",
             "time by layer (self-reported span durations; layers overlap):",
         ]
-        for layer, stats in self.layers.items():
+        for layer, stats in list(self.layers.items())[:top]:
             lines.append(
                 f"  {layer:<10} {stats['total_ms']:>10.1f} ms  in {int(stats['spans'])} spans"
             )
+        if len(self.layers) > top:
+            lines.append(f"  ... {len(self.layers) - top} more layer(s); raise --top to see them")
         if self.critical_path:
             lines.append("")
             lines.append("critical path (heaviest child at each level):")
@@ -59,6 +61,21 @@ class TraceSummary:
                     + (f"  {detail}" if detail else "")
                 )
         return "\n".join(lines)
+
+    def as_dict(self, top: int = 5) -> dict[str, Any]:
+        """JSON document for the dashboard's ``/api/obs/summary`` endpoint."""
+        return {
+            "span_count": self.span_count,
+            "trace_count": self.trace_count,
+            "process_count": self.process_count,
+            "wall_ms": round(self.wall_ms, 3),
+            "layers": self.layers,
+            "critical_path": [
+                {"name": name, "layer": layer, "dur_ms": round(dur_ms, 3)}
+                for name, layer, dur_ms in self.critical_path
+            ],
+            "slowest": self.slowest[:top],
+        }
 
 
 def summarize_trace(spans: list[dict[str, Any]], top: int = 20) -> TraceSummary:
@@ -87,16 +104,23 @@ def summarize_trace(spans: list[dict[str, Any]], top: int = 20) -> TraceSummary:
 
 
 def _critical_path(spans: list[dict[str, Any]]) -> list[tuple[str, str, float]]:
-    """Greedy heaviest chain from the longest root span down to a leaf."""
-    children: dict[str, list[dict[str, Any]]] = {}
-    span_ids = {s.get("span_id") for s in spans}
+    """Greedy heaviest chain from the longest root span down to a leaf.
+
+    Parent/child links are scoped to ``(trace_id, span_id)``: a multi-sweep
+    trace file repeats span ids across traces (each sweep mints its own),
+    so keying by bare ``span_id`` could splice an unrelated trace's child
+    into the chosen root's chain.
+    """
+    children: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    span_keys = {(s.get("trace_id"), s.get("span_id")) for s in spans}
     roots: list[dict[str, Any]] = []
     for span in spans:
         parent = span.get("parent_id")
-        if parent is None or parent not in span_ids:
+        parent_key = (span.get("trace_id"), parent)
+        if parent is None or parent_key not in span_keys:
             roots.append(span)
         else:
-            children.setdefault(parent, []).append(span)
+            children.setdefault(parent_key, []).append(span)
     if not roots:
         return []
     path: list[tuple[str, str, float]] = []
@@ -105,6 +129,6 @@ def _critical_path(spans: list[dict[str, Any]]) -> list[tuple[str, str, float]]:
         path.append(
             (str(node.get("name")), str(node.get("layer")), int(node.get("dur_us", 0)) / 1000.0)
         )
-        below = children.get(node.get("span_id"), [])
+        below = children.get((node.get("trace_id"), node.get("span_id")), [])
         node = max(below, key=lambda s: int(s.get("dur_us", 0))) if below else None
     return path
